@@ -1,0 +1,26 @@
+//! # vitis-baselines
+//!
+//! The two baseline publish/subscribe systems the paper evaluates Vitis
+//! against, built on the same substrate (Newscast peer sampling, T-Man
+//! overlay construction) for a fair comparison:
+//!
+//! * [`rvr`] — **RVR**, a structured rendezvous-routing design equivalent
+//!   to Scribe/Bayeux: fixed node degree, subscription-oblivious small-world
+//!   tables, a multicast tree per topic rooted at the rendezvous node.
+//! * [`opt`] — **OPT**, an unstructured overlay-per-topic design equivalent
+//!   to SpiderCast: correlation-aware greedy link coverage; zero relay
+//!   traffic, but a bounded degree cannot keep every topic subgraph
+//!   connected and the unbounded variant needs arbitrarily large degrees.
+//!
+//! [`systems`] wraps each into a whole-network driver implementing
+//! [`vitis::system::PubSub`].
+
+#![warn(missing_docs)]
+
+pub mod opt;
+pub mod rvr;
+pub mod systems;
+
+pub use opt::{OptConfig, OptNode};
+pub use rvr::{RvrConfig, RvrNode};
+pub use systems::{OptSystem, RvrSystem};

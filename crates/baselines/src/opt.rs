@@ -1,0 +1,436 @@
+//! OPT — the unstructured overlay-per-topic baseline.
+//!
+//! A SpiderCast-equivalent: every node tries to keep at least
+//! `coverage` connected neighbors *per subscribed topic*, exploiting
+//! subscription correlation so one link can cover many topics. Links are
+//! symmetric connections negotiated with a request/accept handshake and
+//! kept alive by heartbeats. Events flood the per-topic subgraph, so there
+//! is no relay traffic at all — but with a bounded degree the per-topic
+//! subgraphs can stay disconnected and the hit ratio drops below 100 %
+//! (Figure 10), while the unbounded variant needs arbitrarily large degrees
+//! (Figure 11).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::rc::Rc;
+use vitis::monitor::{EventId, Monitor};
+use vitis::topic::{Subs, TopicId};
+use vitis_overlay::entry::Entry;
+use vitis_overlay::id::Id;
+use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
+use vitis_sim::event::NodeIdx;
+use vitis_sim::prelude::{Context, Protocol, StopReason};
+
+/// OPT node configuration.
+#[derive(Clone, Debug)]
+pub struct OptConfig {
+    /// Desired connected neighbors per subscribed topic (SpiderCast's
+    /// coverage parameter; the paper's comparison uses small values).
+    pub coverage: usize,
+    /// Maximum total degree, or `None` for the unbounded variant.
+    pub max_degree: Option<usize>,
+    /// New connection requests issued per round (limits link churn).
+    pub requests_per_round: usize,
+    /// Failure-detection age threshold in rounds.
+    pub age_threshold: u16,
+    /// Peer-sampling view capacity.
+    pub sampling_view: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            coverage: 2,
+            max_degree: Some(15),
+            requests_per_round: 3,
+            age_threshold: 5,
+            sampling_view: 15,
+        }
+    }
+}
+
+/// OPT wire protocol.
+#[derive(Clone, Debug)]
+pub enum OptMsg {
+    /// Peer-sampling exchange request.
+    PsReq(Vec<Entry<Subs>>),
+    /// Peer-sampling exchange reply.
+    PsResp(Vec<Entry<Subs>>),
+    /// Connection request carrying the requester's id and subscriptions.
+    ConnectReq(Id, Subs),
+    /// Connection accept carrying the accepter's id and subscriptions.
+    ConnectAck(Id, Subs),
+    /// Liveness heartbeat between connected neighbors.
+    Heartbeat(Subs),
+    /// Graceful link teardown (degree-bound enforcement).
+    Disconnect,
+    /// Data-plane event notification flooding the topic subgraph.
+    Notif {
+        /// The event.
+        event: EventId,
+        /// Its topic.
+        topic: TopicId,
+        /// Hops from the publisher.
+        hops: u32,
+    },
+    /// Harness stimulus: publish `event` on `topic` from this node.
+    PublishCmd {
+        /// Pre-registered event id.
+        event: EventId,
+        /// Topic to publish on.
+        topic: TopicId,
+    },
+}
+
+struct Link {
+    subs: Subs,
+    age: u16,
+}
+
+/// An OPT peer.
+pub struct OptNode {
+    cfg: Rc<OptConfig>,
+    monitor: Monitor,
+    addr: NodeIdx,
+    id: Id,
+    subs: Subs,
+    sampling: Newscast<Subs>,
+    links: BTreeMap<NodeIdx, Link>,
+    /// Requests in flight this round (counted against the degree bound so
+    /// bursts cannot overshoot it).
+    pending: BTreeSet<NodeIdx>,
+    bootstrap: Vec<Entry<Subs>>,
+    seen: HashSet<EventId>,
+}
+
+impl OptNode {
+    /// Create a node with the given ring id, subscriptions and bootstrap
+    /// contacts.
+    pub fn new(
+        id: Id,
+        subs: Subs,
+        cfg: Rc<OptConfig>,
+        monitor: Monitor,
+        bootstrap: Vec<Entry<Subs>>,
+    ) -> Self {
+        let sampling = Newscast::new(cfg.sampling_view);
+        OptNode {
+            cfg,
+            monitor,
+            addr: NodeIdx(u32::MAX),
+            id,
+            subs,
+            sampling,
+            links: BTreeMap::new(),
+            pending: BTreeSet::new(),
+            bootstrap,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// This node's ring identifier.
+    pub fn ring_id(&self) -> Id {
+        self.id
+    }
+
+    /// This node's subscriptions.
+    pub fn subscriptions(&self) -> &Subs {
+        &self.subs
+    }
+
+    /// Current degree (established connections).
+    pub fn degree(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Connected neighbor addresses.
+    pub fn neighbor_addrs(&self) -> Vec<NodeIdx> {
+        self.links.keys().copied().collect()
+    }
+
+    /// How many established links share `topic` with us.
+    pub fn topic_coverage(&self, topic: TopicId) -> usize {
+        self.links
+            .values()
+            .filter(|l| l.subs.contains(topic))
+            .count()
+    }
+
+    fn at_capacity(&self) -> bool {
+        self.cfg
+            .max_degree
+            .is_some_and(|cap| self.links.len() + self.pending.len() >= cap)
+    }
+
+    /// Greedy coverage selection: candidates ranked by how many still
+    /// under-covered topics they would cover; returns up to
+    /// `requests_per_round` picks with positive gain.
+    fn pick_connect_targets(&self) -> Vec<NodeIdx> {
+        let mut deficit: BTreeMap<TopicId, isize> = BTreeMap::new();
+        for t in self.subs.iter() {
+            let have = self.topic_coverage(t) as isize;
+            let want = self.cfg.coverage as isize;
+            if have < want {
+                deficit.insert(t, want - have);
+            }
+        }
+        if deficit.is_empty() {
+            return Vec::new();
+        }
+        let mut picks = Vec::new();
+        let mut candidates: Vec<&Entry<Subs>> = self
+            .sampling
+            .sample()
+            .iter()
+            .filter(|e| {
+                e.addr != self.addr
+                    && !self.links.contains_key(&e.addr)
+                    && !self.pending.contains(&e.addr)
+            })
+            .collect();
+        let mut budget = self.cfg.requests_per_round;
+        if let Some(cap) = self.cfg.max_degree {
+            budget = budget.min(cap.saturating_sub(self.links.len() + self.pending.len()));
+        }
+        while picks.len() < budget {
+            let mut best: Option<(usize, isize)> = None;
+            for (i, c) in candidates.iter().enumerate() {
+                let gain: isize = c
+                    .payload
+                    .iter()
+                    .filter(|t| deficit.get(t).copied().unwrap_or(0) > 0)
+                    .count() as isize;
+                if gain > 0 && best.is_none_or(|(_, bg)| gain > bg) {
+                    best = Some((i, gain));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let chosen = candidates.swap_remove(i);
+            for t in chosen.payload.iter() {
+                if let Some(d) = deficit.get_mut(&t) {
+                    *d -= 1;
+                }
+            }
+            picks.push(chosen.addr);
+        }
+        picks
+    }
+
+    fn add_link(&mut self, peer: NodeIdx, subs: Subs) {
+        self.links.insert(peer, Link { subs, age: 0 });
+        self.pending.remove(&peer);
+    }
+
+    fn flood(
+        &mut self,
+        ctx: &mut Context<'_, OptMsg>,
+        came_from: Option<NodeIdx>,
+        event: EventId,
+        topic: TopicId,
+        hops: u32,
+    ) {
+        for (&peer, link) in &self.links {
+            if Some(peer) != came_from && link.subs.contains(topic) {
+                ctx.send(peer, OptMsg::Notif { event, topic, hops });
+            }
+        }
+    }
+}
+
+impl Protocol for OptNode {
+    type Msg = OptMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, OptMsg>) {
+        self.addr = ctx.self_idx;
+        let contacts = std::mem::take(&mut self.bootstrap);
+        self.sampling.bootstrap(&contacts, self.addr);
+        let _ = ctx;
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, OptMsg>) {
+        // Peer sampling drives candidate discovery.
+        self.sampling.tick();
+        let se = Entry::fresh(self.addr, self.id, self.subs.clone());
+        if let Some((partner, buf)) = self.sampling.initiate(&se, ctx.rng) {
+            ctx.send(partner, OptMsg::PsReq(buf));
+        }
+
+        // Age links; drop the stale ones (failure detection).
+        let thr = self.cfg.age_threshold;
+        self.links.retain(|_, l| {
+            l.age = l.age.saturating_add(1);
+            l.age <= thr
+        });
+        self.pending.clear();
+
+        // Greedy coverage repair.
+        for target in self.pick_connect_targets() {
+            self.pending.insert(target);
+            ctx.send(target, OptMsg::ConnectReq(self.id, self.subs.clone()));
+        }
+
+        // Heartbeats.
+        for peer in self.links.keys().copied().collect::<Vec<_>>() {
+            ctx.send(peer, OptMsg::Heartbeat(self.subs.clone()));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, OptMsg>, from: NodeIdx, msg: OptMsg) {
+        match msg {
+            OptMsg::PsReq(buf) => {
+                let se = Entry::fresh(self.addr, self.id, self.subs.clone());
+                let reply = self.sampling.on_request(&se, from, &buf, ctx.rng);
+                ctx.send(from, OptMsg::PsResp(reply));
+            }
+            OptMsg::PsResp(buf) => self.sampling.on_response(self.addr, &buf),
+            OptMsg::ConnectReq(id, subs) => {
+                let _ = id;
+                // Accept while under the degree bound (always, when
+                // unbounded): the accepter benefits passively from any link
+                // that shares topics, and SpiderCast links are symmetric.
+                let accept = self.links.contains_key(&from) || !self.at_capacity();
+                if accept {
+                    self.add_link(from, subs);
+                    ctx.send(from, OptMsg::ConnectAck(self.id, self.subs.clone()));
+                }
+            }
+            OptMsg::ConnectAck(_, subs) => {
+                self.add_link(from, subs);
+            }
+            OptMsg::Heartbeat(subs) => {
+                if let Some(l) = self.links.get_mut(&from) {
+                    l.age = 0;
+                    l.subs = subs;
+                }
+            }
+            OptMsg::Disconnect => {
+                self.links.remove(&from);
+            }
+            OptMsg::Notif {
+                event,
+                topic,
+                hops,
+            } => {
+                let interested = self.subs.contains(topic);
+                self.monitor.record_data_rx(self.addr, interested);
+                if !self.seen.insert(event) {
+                    return;
+                }
+                if interested {
+                    self.monitor.record_delivery(event, self.addr, hops, ctx.now);
+                }
+                self.flood(ctx, Some(from), event, topic, hops + 1);
+            }
+            OptMsg::PublishCmd { event, topic } => {
+                self.seen.insert(event);
+                self.flood(ctx, None, event, topic, 1);
+            }
+        }
+    }
+
+    fn on_stop(&mut self, _ctx: &mut Context<'_, OptMsg>, _reason: StopReason) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitis::topic::TopicSet;
+    use vitis_sim::engine::{Engine, EngineConfig};
+    use vitis_sim::time::Duration;
+
+    fn build_net(
+        n: usize,
+        subs_of: impl Fn(usize) -> Vec<u32>,
+        cfg: OptConfig,
+    ) -> (Engine<OptNode>, Monitor) {
+        let cfg = Rc::new(cfg);
+        let monitor = Monitor::new();
+        let mut eng = Engine::new(EngineConfig {
+            seed: 13,
+            round_period: Duration(64),
+            desynchronize_rounds: true,
+        });
+        let mut directory: Vec<Entry<Subs>> = Vec::new();
+        for i in 0..n {
+            let subs: Subs = Rc::new(TopicSet::from_iter(subs_of(i)));
+            let id = Id::of_node(i as u64);
+            let boot: Vec<Entry<Subs>> = directory.iter().rev().take(4).cloned().collect();
+            let node = OptNode::new(id, subs.clone(), cfg.clone(), monitor.clone(), boot);
+            let slot = eng.add_node(node);
+            directory.push(Entry::fresh(slot, id, subs));
+        }
+        (eng, monitor)
+    }
+
+    #[test]
+    fn links_are_symmetric_connections() {
+        let (mut eng, _) = build_net(32, |i| vec![(i % 2) as u32], OptConfig::default());
+        eng.run_rounds(25);
+        let mut asym = 0;
+        let mut total = 0;
+        for (idx, n) in eng.alive_nodes() {
+            for peer in n.neighbor_addrs() {
+                total += 1;
+                let other = eng.node(peer).unwrap();
+                if !other.neighbor_addrs().contains(&idx) {
+                    asym += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        // Handshaked links are symmetric except for in-flight churn.
+        assert!(
+            (asym as f64) < 0.1 * total as f64,
+            "{asym}/{total} asymmetric links"
+        );
+    }
+
+    #[test]
+    fn coverage_reaches_target_when_unbounded() {
+        let cfg = OptConfig {
+            max_degree: None,
+            ..OptConfig::default()
+        };
+        let (mut eng, _) = build_net(40, |i| vec![(i % 4) as u32, 4 + (i % 3) as u32], cfg);
+        eng.run_rounds(30);
+        let mut covered = 0;
+        let mut total = 0;
+        for (_, n) in eng.alive_nodes() {
+            for t in n.subscriptions().iter() {
+                total += 1;
+                if n.topic_coverage(t) >= 2 {
+                    covered += 1;
+                }
+            }
+        }
+        assert!(
+            covered as f64 > 0.9 * total as f64,
+            "coverage {covered}/{total}"
+        );
+    }
+
+    #[test]
+    fn degree_bound_is_hard() {
+        let cfg = OptConfig {
+            max_degree: Some(6),
+            ..OptConfig::default()
+        };
+        let (mut eng, _) = build_net(40, |i| vec![(i % 8) as u32], cfg);
+        eng.run_rounds(30);
+        for (_, n) in eng.alive_nodes() {
+            assert!(n.degree() <= 6, "degree {}", n.degree());
+        }
+    }
+
+    #[test]
+    fn flood_stays_inside_topic_subgraph() {
+        let (mut eng, monitor) = build_net(32, |i| vec![(i % 2) as u32], OptConfig::default());
+        eng.run_rounds(25);
+        let expected: Vec<NodeIdx> = (1..16).map(|k| NodeIdx(k * 2)).collect();
+        let e = monitor.register_event(TopicId(0), eng.now(), expected);
+        eng.inject(NodeIdx(0), OptMsg::PublishCmd { event: e, topic: TopicId(0) });
+        eng.run_rounds(3);
+        let s = monitor.snapshot();
+        assert_eq!(s.relay_msgs, 0, "OPT must never relay");
+        assert!(s.useful_msgs > 0);
+    }
+}

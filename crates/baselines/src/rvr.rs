@@ -1,0 +1,458 @@
+//! RVR — the structured rendezvous-routing baseline.
+//!
+//! A Scribe/Bayeux-equivalent built on the same substrate as Vitis (Newscast
+//! peer sampling, T-Man-maintained ring, Symphony small-world links) but
+//! *oblivious to subscriptions*: all non-ring routing-table entries are
+//! small-world links and there are no friend links. Every subscriber of a
+//! topic periodically routes a join request toward `hash(topic)`; the nodes
+//! on the path install per-topic tree soft state (parent toward the
+//! rendezvous, children back toward subscribers). Events climb the
+//! publisher's path to the rendezvous and flood down the whole tree — every
+//! non-subscriber on a path is pure relay traffic, which is exactly the
+//! overhead Vitis's clustering removes.
+
+use std::collections::{BTreeMap, HashSet};
+use std::rc::Rc;
+use vitis::monitor::{EventId, Monitor};
+use vitis::relay::RelayTable;
+use vitis::topic::{Subs, TopicId};
+use vitis_overlay::entry::{merge_dedup, Entry};
+use vitis_overlay::id::Id;
+use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
+use vitis_overlay::routing::next_hop;
+use vitis_overlay::rt::{build_exchange_buffer, select_neighbors, HybridRt, RtParams};
+use vitis_sim::event::NodeIdx;
+use vitis_sim::prelude::{Context, Protocol, StopReason};
+
+/// RVR node configuration.
+#[derive(Clone, Debug)]
+pub struct RvrConfig {
+    /// Fixed node degree (routing-table size). All slots beyond the two
+    /// ring links hold small-world links.
+    pub rt_size: usize,
+    /// Estimated network size for the harmonic draw.
+    pub est_n: usize,
+    /// Failure-detection age threshold in rounds.
+    pub age_threshold: u16,
+    /// Tree soft-state TTL in rounds.
+    pub tree_ttl: u16,
+    /// Peer-sampling view capacity.
+    pub sampling_view: usize,
+    /// Safety cap on lookup path length.
+    pub max_lookup_hops: u32,
+}
+
+impl Default for RvrConfig {
+    fn default() -> Self {
+        RvrConfig {
+            rt_size: 15,
+            est_n: 10_000,
+            age_threshold: 5,
+            tree_ttl: 3,
+            sampling_view: 15,
+            max_lookup_hops: 128,
+        }
+    }
+}
+
+/// RVR wire protocol.
+#[derive(Clone, Debug)]
+pub enum RvrMsg {
+    /// Peer-sampling exchange request.
+    PsReq(Vec<Entry<Subs>>),
+    /// Peer-sampling exchange reply.
+    PsResp(Vec<Entry<Subs>>),
+    /// T-Man routing-table exchange request.
+    RtReq(Vec<Entry<Subs>>),
+    /// T-Man routing-table exchange reply.
+    RtResp(Vec<Entry<Subs>>),
+    /// Liveness heartbeat to routing-table neighbors, carrying the
+    /// sender's ring id for notify-style ring repair.
+    Heartbeat(Id, Subs),
+    /// A subscriber's (or forwarder's) join step toward the rendezvous,
+    /// installing tree soft state (Scribe JOIN).
+    Join {
+        /// The topic whose tree is being joined/refreshed.
+        topic: TopicId,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Data-plane event notification travelling the tree.
+    Notif {
+        /// The event.
+        event: EventId,
+        /// Its topic.
+        topic: TopicId,
+        /// Hops from the publisher.
+        hops: u32,
+    },
+    /// Harness stimulus: publish `event` on `topic` from this node.
+    PublishCmd {
+        /// Pre-registered event id.
+        event: EventId,
+        /// Topic to publish on.
+        topic: TopicId,
+    },
+}
+
+/// An RVR peer.
+pub struct RvrNode {
+    cfg: Rc<RvrConfig>,
+    monitor: Monitor,
+    addr: NodeIdx,
+    id: Id,
+    subs: Subs,
+    sampling: Newscast<Subs>,
+    rt: HybridRt<Subs>,
+    bootstrap: Vec<Entry<Subs>>,
+    /// Per-topic multicast-tree soft state (same structure as Vitis relay
+    /// paths: upstream = parent toward rendezvous, downstream = children).
+    tree: RelayTable,
+    seen: HashSet<EventId>,
+    /// Neighbor subscription cache (from heartbeats) — used only for
+    /// delivery bookkeeping, never for neighbor selection.
+    nbr_subs: BTreeMap<NodeIdx, Subs>,
+}
+
+impl RvrNode {
+    /// Create a node with the given ring id, subscriptions and bootstrap
+    /// contacts.
+    pub fn new(
+        id: Id,
+        subs: Subs,
+        cfg: Rc<RvrConfig>,
+        monitor: Monitor,
+        bootstrap: Vec<Entry<Subs>>,
+    ) -> Self {
+        let sampling = Newscast::new(cfg.sampling_view);
+        RvrNode {
+            cfg,
+            monitor,
+            addr: NodeIdx(u32::MAX),
+            id,
+            subs,
+            sampling,
+            rt: HybridRt::new(),
+            bootstrap,
+            tree: RelayTable::new(),
+            seen: HashSet::new(),
+            nbr_subs: BTreeMap::new(),
+        }
+    }
+
+    /// This node's ring identifier.
+    pub fn ring_id(&self) -> Id {
+        self.id
+    }
+
+    /// This node's subscriptions.
+    pub fn subscriptions(&self) -> &Subs {
+        &self.subs
+    }
+
+    /// The current routing table.
+    pub fn routing_table(&self) -> &HybridRt<Subs> {
+        &self.rt
+    }
+
+    /// The per-topic tree soft state.
+    pub fn tree_table(&self) -> &RelayTable {
+        &self.tree
+    }
+
+    fn self_entry(&self) -> Entry<Subs> {
+        Entry::fresh(self.addr, self.id, self.subs.clone())
+    }
+
+    fn rt_params(&self) -> RtParams {
+        RtParams {
+            rt_size: self.cfg.rt_size,
+            // Subscription-oblivious: everything beyond the ring is a
+            // small-world link; no friend slots exist.
+            k_sw: self.cfg.rt_size.saturating_sub(2),
+            est_n: self.cfg.est_n,
+        }
+    }
+
+    fn merge_and_select(&mut self, incoming: &[Entry<Subs>], ctx: &mut Context<'_, RvrMsg>) {
+        let mut candidates = self.rt.to_vec();
+        merge_dedup(&mut candidates, incoming);
+        merge_dedup(&mut candidates, self.sampling.sample());
+        // Drop descriptors past the failure-detection threshold; see the
+        // same filter in VitisNode — circulating copies of dead descriptors
+        // otherwise re-enter tables as zombie ring neighbors.
+        candidates.retain(|e| e.age <= self.cfg.age_threshold);
+        let keep_sw: Vec<NodeIdx> = self.rt.sw.iter().map(|e| e.addr).collect();
+        self.rt = select_neighbors(
+            self.addr,
+            self.id,
+            &self.rt_params(),
+            candidates,
+            &keep_sw,
+            &[],
+            |_| 0.0,
+            ctx.rng,
+        );
+    }
+
+    /// Notify-style ring repair: adopt an unknown heartbeat sender as a
+    /// ring neighbor when it is closer than the current successor or
+    /// predecessor, keeping ring edges symmetric (they then refresh each
+    /// other) and lookups consistent.
+    fn consider_ring_candidate(&mut self, from: NodeIdx, id: Id, subs: Subs) {
+        if self.rt.contains(from) || id == self.id {
+            return;
+        }
+        let d_cw = self.id.distance_cw(id);
+        let adopt_succ = match &self.rt.succ {
+            None => true,
+            Some(s) => d_cw < self.id.distance_cw(s.id),
+        };
+        if adopt_succ {
+            self.rt.succ = Some(Entry::fresh(from, id, subs));
+            return;
+        }
+        let d_ccw = id.distance_cw(self.id);
+        let adopt_pred = match &self.rt.pred {
+            None => true,
+            Some(p) => d_ccw < p.id.distance_cw(self.id),
+        };
+        if adopt_pred {
+            self.rt.pred = Some(Entry::fresh(from, id, subs));
+        }
+    }
+
+    /// One join/refresh step toward the rendezvous of `topic` from this
+    /// node; the same logic serves the initiating subscriber and forwarders.
+    fn join_step(&mut self, topic: TopicId, hops: u32, ctx: &mut Context<'_, RvrMsg>) {
+        match next_hop(self.id, topic.ring_id(), self.rt.route_candidates()) {
+            Some(next) => {
+                self.tree.set_upstream(topic, next);
+                if hops < self.cfg.max_lookup_hops {
+                    ctx.send(next, RvrMsg::Join { topic, hops: hops + 1 });
+                }
+            }
+            None => self.tree.mark_rendezvous(topic),
+        }
+    }
+
+    fn forward_notif(
+        &mut self,
+        ctx: &mut Context<'_, RvrMsg>,
+        came_from: Option<NodeIdx>,
+        event: EventId,
+        topic: TopicId,
+        hops: u32,
+    ) {
+        for t in self.tree.fanout(topic, came_from) {
+            ctx.send(t, RvrMsg::Notif { event, topic, hops });
+        }
+    }
+
+    fn on_notif(
+        &mut self,
+        ctx: &mut Context<'_, RvrMsg>,
+        from: NodeIdx,
+        event: EventId,
+        topic: TopicId,
+        hops: u32,
+    ) {
+        let interested = self.subs.contains(topic);
+        self.monitor.record_data_rx(self.addr, interested);
+        if !self.seen.insert(event) {
+            return;
+        }
+        if interested {
+            self.monitor.record_delivery(event, self.addr, hops, ctx.now);
+        }
+        self.forward_notif(ctx, Some(from), event, topic, hops + 1);
+    }
+}
+
+impl Protocol for RvrNode {
+    type Msg = RvrMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, RvrMsg>) {
+        self.addr = ctx.self_idx;
+        let contacts = std::mem::take(&mut self.bootstrap);
+        self.sampling.bootstrap(&contacts, self.addr);
+        self.merge_and_select(&contacts, ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, RvrMsg>) {
+        // Peer sampling.
+        self.sampling.tick();
+        let se = self.self_entry();
+        if let Some((partner, buf)) = self.sampling.initiate(&se, ctx.rng) {
+            ctx.send(partner, RvrMsg::PsReq(buf));
+        }
+
+        // T-Man exchange.
+        let partner = {
+            let addrs = self.rt.addrs();
+            if addrs.is_empty() {
+                self.sampling.sample().first().map(|e| e.addr)
+            } else {
+                use rand::Rng;
+                Some(addrs[ctx.rng.gen_range(0..addrs.len())])
+            }
+        };
+        if let Some(partner) = partner {
+            let buf = build_exchange_buffer(&self.rt, self.sampling.sample(), &se);
+            ctx.send(partner, RvrMsg::RtReq(buf));
+        }
+
+        // Failure detection.
+        self.rt.age_all();
+        for dead in self.rt.expire(self.cfg.age_threshold) {
+            self.sampling.remove(dead);
+            self.tree.remove_peer(dead);
+            self.nbr_subs.remove(&dead);
+        }
+
+        // Tree soft state decays unless refreshed by the joins below.
+        self.tree.tick();
+        self.tree.expire(self.cfg.tree_ttl);
+
+        // Every subscriber re-joins every subscribed tree each round
+        // (Scribe keep-alive).
+        let subs = self.subs.clone();
+        for topic in subs.iter() {
+            self.join_step(topic, 0, ctx);
+        }
+
+        // Heartbeats keep neighbor entries fresh.
+        for nbr in self.rt.addrs() {
+            ctx.send(nbr, RvrMsg::Heartbeat(self.id, self.subs.clone()));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, RvrMsg>, from: NodeIdx, msg: RvrMsg) {
+        match msg {
+            RvrMsg::PsReq(buf) => {
+                let se = self.self_entry();
+                let reply = self.sampling.on_request(&se, from, &buf, ctx.rng);
+                ctx.send(from, RvrMsg::PsResp(reply));
+            }
+            RvrMsg::PsResp(buf) => self.sampling.on_response(self.addr, &buf),
+            RvrMsg::RtReq(buf) => {
+                let se = self.self_entry();
+                let reply = build_exchange_buffer(&self.rt, self.sampling.sample(), &se);
+                ctx.send(from, RvrMsg::RtResp(reply));
+                self.merge_and_select(&buf, ctx);
+            }
+            RvrMsg::RtResp(buf) => self.merge_and_select(&buf, ctx),
+            RvrMsg::Heartbeat(id, subs) => {
+                if self.rt.refresh(from, subs.clone()) {
+                    self.nbr_subs.insert(from, subs);
+                } else {
+                    self.consider_ring_candidate(from, id, subs);
+                }
+            }
+            RvrMsg::Join { topic, hops } => {
+                self.tree.add_downstream(topic, from);
+                self.join_step(topic, hops, ctx);
+            }
+            RvrMsg::Notif {
+                event,
+                topic,
+                hops,
+            } => self.on_notif(ctx, from, event, topic, hops),
+            RvrMsg::PublishCmd { event, topic } => {
+                self.seen.insert(event);
+                // The publisher is a subscriber, so it sits in the tree; the
+                // notification climbs to the rendezvous and floods down.
+                self.forward_notif(ctx, None, event, topic, 1);
+            }
+        }
+    }
+
+    fn on_stop(&mut self, _ctx: &mut Context<'_, RvrMsg>, _reason: StopReason) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitis::topic::TopicSet;
+    use vitis_sim::engine::{Engine, EngineConfig};
+    use vitis_sim::time::Duration;
+
+    fn build_net(n: usize, subs_of: impl Fn(usize) -> Vec<u32>) -> (Engine<RvrNode>, Monitor) {
+        let cfg = Rc::new(RvrConfig {
+            est_n: 64,
+            ..RvrConfig::default()
+        });
+        let monitor = Monitor::new();
+        let mut eng = Engine::new(EngineConfig {
+            seed: 9,
+            round_period: Duration(64),
+            desynchronize_rounds: true,
+        });
+        let mut directory: Vec<Entry<Subs>> = Vec::new();
+        for i in 0..n {
+            let subs: Subs = Rc::new(TopicSet::from_iter(subs_of(i)));
+            let id = Id::of_node(i as u64);
+            let boot: Vec<Entry<Subs>> = directory.iter().rev().take(4).cloned().collect();
+            let node = RvrNode::new(id, subs.clone(), cfg.clone(), monitor.clone(), boot);
+            let slot = eng.add_node(node);
+            directory.push(Entry::fresh(slot, id, subs));
+        }
+        (eng, monitor)
+    }
+
+    #[test]
+    fn tables_are_all_structure_no_friends() {
+        let (mut eng, _) = build_net(48, |i| vec![(i % 4) as u32]);
+        eng.run_rounds(25);
+        for (_, n) in eng.alive_nodes() {
+            let rt = n.routing_table();
+            assert!(rt.friends.is_empty());
+            assert!(rt.len() <= 15);
+            assert!(rt.succ.is_some() && rt.pred.is_some());
+        }
+    }
+
+    #[test]
+    fn every_topic_tree_has_one_rendezvous_after_convergence() {
+        let (mut eng, _) = build_net(48, |i| vec![(i % 3) as u32]);
+        eng.run_rounds(35);
+        for t in 0..3u32 {
+            let rdvs = eng
+                .alive_nodes()
+                .filter(|(_, n)| {
+                    n.tree_table()
+                        .get(TopicId(t))
+                        .is_some_and(|e| e.is_rendezvous())
+                })
+                .count();
+            assert_eq!(rdvs, 1, "topic {t} has {rdvs} rendezvous nodes");
+        }
+    }
+
+    #[test]
+    fn subscribers_sit_in_their_topic_tree() {
+        let (mut eng, _) = build_net(48, |i| vec![(i % 3) as u32]);
+        eng.run_rounds(30);
+        for (_, n) in eng.alive_nodes() {
+            for t in n.subscriptions().iter() {
+                assert!(
+                    n.tree_table().has(t),
+                    "subscriber lacks tree state for its topic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn publish_delivers_through_the_tree() {
+        let (mut eng, monitor) = build_net(48, |i| if i % 2 == 0 { vec![0] } else { vec![1] });
+        eng.run_rounds(35);
+        let expected: Vec<NodeIdx> = (1..24).map(|k| NodeIdx(k * 2)).collect();
+        let e = monitor.register_event(TopicId(0), eng.now(), expected);
+        eng.inject(NodeIdx(0), RvrMsg::PublishCmd { event: e, topic: TopicId(0) });
+        eng.run_rounds(4);
+        let (exp, del) = monitor.event_progress(e).unwrap();
+        assert_eq!(exp, 23);
+        assert!(del >= 22, "tree delivered {del}/{exp}");
+    }
+}

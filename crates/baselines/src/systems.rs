@@ -1,0 +1,564 @@
+//! System wrappers around the baseline nodes, implementing the same
+//! [`PubSub`] driver interface as [`vitis::system::VitisSystem`] so the
+//! experiment harness can swap systems freely.
+
+use crate::opt::{OptConfig, OptMsg, OptNode};
+use crate::rvr::{RvrConfig, RvrMsg, RvrNode};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use std::rc::Rc;
+use vitis::harness::Workload;
+use vitis::monitor::{EventId, Monitor, PubSubStats};
+use vitis::system::{PubSub, SystemParams};
+use vitis::topic::{Subs, TopicId};
+use vitis_overlay::entry::Entry;
+use vitis_overlay::graph::Graph;
+use vitis_overlay::id::Id;
+use vitis_sim::engine::{Engine, EngineConfig};
+use vitis_sim::event::NodeIdx;
+use vitis_sim::prelude::StopReason;
+use vitis_sim::rng::{domain, stream_rng};
+use vitis_sim::time::SimTime;
+
+/// A complete RVR (Scribe-equivalent) network.
+pub struct RvrSystem {
+    engine: Engine<RvrNode, vitis_sim::network::DynNetworkModel>,
+    monitor: Monitor,
+    workload: Workload,
+    cfg: Rc<RvrConfig>,
+    boot_rng: SmallRng,
+    bootstrap_contacts: usize,
+}
+
+impl RvrSystem {
+    /// Build from the same parameters as a Vitis system; only `rt_size`,
+    /// `est_n`, `age_threshold` and the sampling view are used (RVR has no
+    /// friends, gateways or relay radius).
+    pub fn new(params: SystemParams) -> Self {
+        let n = params.subscriptions.len();
+        let cfg = Rc::new(RvrConfig {
+            rt_size: params.cfg.rt_size,
+            est_n: params.cfg.est_n,
+            age_threshold: params.cfg.age_threshold,
+            tree_ttl: params.cfg.relay_ttl,
+            sampling_view: params.cfg.sampling_view,
+            max_lookup_hops: params.cfg.max_lookup_hops,
+        });
+        let monitor = Monitor::new();
+        let workload = Workload::new(
+            params.subscriptions,
+            params.num_topics,
+            params.rates,
+            params.grace,
+            params.seed,
+        );
+        let engine = Engine::with_network(
+            EngineConfig {
+                seed: params.seed,
+                round_period: params.round_period,
+                desynchronize_rounds: true,
+            },
+            params.network.build(),
+        );
+        let boot_rng = stream_rng(params.seed, domain::WORKLOAD, u64::MAX - 1);
+        let mut sys = RvrSystem {
+            engine,
+            monitor,
+            workload,
+            cfg,
+            boot_rng,
+            bootstrap_contacts: params.bootstrap_contacts,
+        };
+        for logical in 0..n as u32 {
+            let node = sys.make_node(logical);
+            let slot = sys.engine.add_node(node);
+            debug_assert_eq!(slot.0, logical);
+        }
+        sys
+    }
+
+    fn make_node(&mut self, logical: u32) -> RvrNode {
+        let subs = self.workload.subs_of(logical).clone();
+        let bootstrap = bootstrap_entries(
+            &mut self.boot_rng,
+            self.bootstrap_contacts,
+            self.engine.alive_indices(),
+            |slot| {
+                let node = self.engine.node(slot).expect("alive");
+                (node.ring_id(), node.subscriptions().clone())
+            },
+        );
+        RvrNode::new(
+            Id::of_node(logical as u64),
+            subs,
+            self.cfg.clone(),
+            self.monitor.clone(),
+            bootstrap,
+        )
+    }
+
+    /// Read access to the engine for snapshots.
+    pub fn engine(&self) -> &Engine<RvrNode, vitis_sim::network::DynNetworkModel> {
+        &self.engine
+    }
+
+    /// The workload ground truth.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Snapshot the structured overlay as an undirected graph.
+    pub fn overlay_graph(&self) -> Graph {
+        let mut g = Graph::new(self.engine.num_slots());
+        for (idx, node) in self.engine.alive_nodes() {
+            for e in node.routing_table().iter() {
+                if self.engine.is_alive(e.addr) {
+                    g.add_edge(idx.0, e.addr.0);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl PubSub for RvrSystem {
+    fn run_rounds(&mut self, n: u64) {
+        self.engine.run_rounds(n);
+    }
+
+    fn run_ticks(&mut self, ticks: u64) {
+        self.engine.run_for(vitis_sim::time::Duration(ticks));
+    }
+
+    fn publish(&mut self, topic: TopicId) -> Option<EventId> {
+        let engine = &self.engine;
+        let publisher = self
+            .workload
+            .choose_publisher(topic, |s| engine.is_alive(NodeIdx(s)))?;
+        let now = self.engine.now();
+        let expected = self
+            .workload
+            .expected_subscribers(topic, publisher, now, |s| engine.joined_at(NodeIdx(s)));
+        let event = self.monitor.register_event(topic, now, expected);
+        self.engine
+            .inject(NodeIdx(publisher), RvrMsg::PublishCmd { event, topic });
+        Some(event)
+    }
+
+    fn publish_weighted(&mut self) -> Option<EventId> {
+        let topic = self.workload.draw_topic();
+        self.publish(topic)
+    }
+
+    fn stats(&self) -> PubSubStats {
+        self.monitor.snapshot()
+    }
+
+    fn reset_metrics(&mut self) {
+        self.monitor.reset();
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn alive_count(&self) -> usize {
+        self.engine.alive_count()
+    }
+
+    fn set_online(&mut self, logical: u32, online: bool) {
+        let slot = NodeIdx(logical);
+        match (self.engine.is_alive(slot), online) {
+            (false, true) => {
+                let node = self.make_node(logical);
+                if slot.index() < self.engine.num_slots() {
+                    self.engine.rejoin_node(slot, node);
+                } else {
+                    let got = self.engine.add_node(node);
+                    assert_eq!(got, slot, "logical ids must join in order");
+                }
+            }
+            (true, false) => self.engine.remove_node(slot, StopReason::Crash),
+            _ => {}
+        }
+    }
+
+    fn mean_degree(&self) -> f64 {
+        let (sum, count) = self
+            .engine
+            .alive_nodes()
+            .fold((0usize, 0usize), |(s, c), (_, n)| {
+                (s + n.routing_table().len(), c + 1)
+            });
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64> {
+        self.monitor
+            .per_node_overhead(min_msgs)
+            .into_iter()
+            .map(|(_, pct)| pct)
+            .collect()
+    }
+}
+
+/// A complete OPT (SpiderCast-equivalent) network.
+pub struct OptSystem {
+    engine: Engine<OptNode, vitis_sim::network::DynNetworkModel>,
+    monitor: Monitor,
+    workload: Workload,
+    cfg: Rc<OptConfig>,
+    boot_rng: SmallRng,
+    bootstrap_contacts: usize,
+}
+
+impl OptSystem {
+    /// Build with an explicit OPT configuration (`max_degree: None` gives
+    /// the unbounded variant of Figure 11).
+    pub fn with_config(params: SystemParams, opt_cfg: OptConfig) -> Self {
+        let n = params.subscriptions.len();
+        let cfg = Rc::new(opt_cfg);
+        let monitor = Monitor::new();
+        let workload = Workload::new(
+            params.subscriptions,
+            params.num_topics,
+            params.rates,
+            params.grace,
+            params.seed,
+        );
+        let engine = Engine::with_network(
+            EngineConfig {
+                seed: params.seed,
+                round_period: params.round_period,
+                desynchronize_rounds: true,
+            },
+            params.network.build(),
+        );
+        let boot_rng = stream_rng(params.seed, domain::WORKLOAD, u64::MAX - 2);
+        let mut sys = OptSystem {
+            engine,
+            monitor,
+            workload,
+            cfg,
+            boot_rng,
+            bootstrap_contacts: params.bootstrap_contacts,
+        };
+        for logical in 0..n as u32 {
+            let node = sys.make_node(logical);
+            let slot = sys.engine.add_node(node);
+            debug_assert_eq!(slot.0, logical);
+        }
+        sys
+    }
+
+    /// Build with the degree bound taken from `params.cfg.rt_size`.
+    pub fn new(params: SystemParams) -> Self {
+        let opt_cfg = OptConfig {
+            max_degree: Some(params.cfg.rt_size),
+            sampling_view: params.cfg.sampling_view,
+            age_threshold: params.cfg.age_threshold,
+            ..OptConfig::default()
+        };
+        OptSystem::with_config(params, opt_cfg)
+    }
+
+    fn make_node(&mut self, logical: u32) -> OptNode {
+        let subs = self.workload.subs_of(logical).clone();
+        let bootstrap = bootstrap_entries(
+            &mut self.boot_rng,
+            self.bootstrap_contacts,
+            self.engine.alive_indices(),
+            |slot| {
+                let node = self.engine.node(slot).expect("alive");
+                (node.ring_id(), node.subscriptions().clone())
+            },
+        );
+        OptNode::new(
+            Id::of_node(logical as u64),
+            subs,
+            self.cfg.clone(),
+            self.monitor.clone(),
+            bootstrap,
+        )
+    }
+
+    /// Read access to the engine for snapshots.
+    pub fn engine(&self) -> &Engine<OptNode, vitis_sim::network::DynNetworkModel> {
+        &self.engine
+    }
+
+    /// The workload ground truth.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Degrees of all online nodes (Figure 11's distribution).
+    pub fn degree_distribution(&self) -> Vec<u64> {
+        self.engine
+            .alive_nodes()
+            .map(|(_, n)| n.degree() as u64)
+            .collect()
+    }
+
+    /// Snapshot the link graph (symmetric connections).
+    pub fn overlay_graph(&self) -> Graph {
+        let mut g = Graph::new(self.engine.num_slots());
+        for (idx, node) in self.engine.alive_nodes() {
+            for peer in node.neighbor_addrs() {
+                if self.engine.is_alive(peer) {
+                    g.add_edge(idx.0, peer.0);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl PubSub for OptSystem {
+    fn run_rounds(&mut self, n: u64) {
+        self.engine.run_rounds(n);
+    }
+
+    fn run_ticks(&mut self, ticks: u64) {
+        self.engine.run_for(vitis_sim::time::Duration(ticks));
+    }
+
+    fn publish(&mut self, topic: TopicId) -> Option<EventId> {
+        let engine = &self.engine;
+        let publisher = self
+            .workload
+            .choose_publisher(topic, |s| engine.is_alive(NodeIdx(s)))?;
+        let now = self.engine.now();
+        let expected = self
+            .workload
+            .expected_subscribers(topic, publisher, now, |s| engine.joined_at(NodeIdx(s)));
+        let event = self.monitor.register_event(topic, now, expected);
+        self.engine
+            .inject(NodeIdx(publisher), OptMsg::PublishCmd { event, topic });
+        Some(event)
+    }
+
+    fn publish_weighted(&mut self) -> Option<EventId> {
+        let topic = self.workload.draw_topic();
+        self.publish(topic)
+    }
+
+    fn stats(&self) -> PubSubStats {
+        self.monitor.snapshot()
+    }
+
+    fn reset_metrics(&mut self) {
+        self.monitor.reset();
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn alive_count(&self) -> usize {
+        self.engine.alive_count()
+    }
+
+    fn set_online(&mut self, logical: u32, online: bool) {
+        let slot = NodeIdx(logical);
+        match (self.engine.is_alive(slot), online) {
+            (false, true) => {
+                let node = self.make_node(logical);
+                if slot.index() < self.engine.num_slots() {
+                    self.engine.rejoin_node(slot, node);
+                } else {
+                    let got = self.engine.add_node(node);
+                    assert_eq!(got, slot, "logical ids must join in order");
+                }
+            }
+            (true, false) => self.engine.remove_node(slot, StopReason::Crash),
+            _ => {}
+        }
+    }
+
+    fn mean_degree(&self) -> f64 {
+        let (sum, count) = self
+            .engine
+            .alive_nodes()
+            .fold((0usize, 0usize), |(s, c), (_, n)| (s + n.degree(), c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64> {
+        self.monitor
+            .per_node_overhead(min_msgs)
+            .into_iter()
+            .map(|(_, pct)| pct)
+            .collect()
+    }
+}
+
+/// Sample bootstrap contacts among currently online nodes.
+fn bootstrap_entries(
+    rng: &mut SmallRng,
+    count: usize,
+    mut alive: Vec<NodeIdx>,
+    mut describe: impl FnMut(NodeIdx) -> (Id, Subs),
+) -> Vec<Entry<Subs>> {
+    alive.shuffle(rng);
+    alive
+        .into_iter()
+        .take(count)
+        .map(|slot| {
+            let (id, subs) = describe(slot);
+            Entry::fresh(slot, id, subs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use vitis::topic::TopicSet;
+
+    fn random_params(n: usize, topics: usize, subs: usize, seed: u64) -> SystemParams {
+        let mut rng = stream_rng(seed, domain::WORKLOAD, 1);
+        let subscriptions: Vec<TopicSet> = (0..n)
+            .map(|_| TopicSet::from_iter((0..subs).map(|_| rng.gen_range(0..topics as u32))))
+            .collect();
+        let mut p = SystemParams::new(subscriptions, topics);
+        p.seed = seed;
+        p
+    }
+
+    #[test]
+    fn rvr_reaches_full_hit_ratio() {
+        let mut sys = RvrSystem::new(random_params(200, 40, 6, 17));
+        sys.run_rounds(55);
+        sys.reset_metrics();
+        for t in 0..40 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(6);
+        let s = sys.stats();
+        assert!(s.expected > 0);
+        assert!(s.hit_ratio > 0.99, "hit {}", s.hit_ratio);
+        // Rendezvous trees force traffic through uninterested relays.
+        assert!(s.relay_msgs > 0, "RVR must have relay traffic");
+    }
+
+    #[test]
+    fn rvr_degree_is_fixed() {
+        let mut sys = RvrSystem::new(random_params(150, 20, 4, 23));
+        sys.run_rounds(30);
+        for (_, n) in sys.engine().alive_nodes() {
+            assert!(n.routing_table().len() <= 15);
+            assert!(n.routing_table().friends.is_empty(), "RVR has no friends");
+        }
+    }
+
+    #[test]
+    fn rvr_survives_churn() {
+        let mut sys = RvrSystem::new(random_params(150, 15, 4, 29));
+        sys.run_rounds(30);
+        for logical in 0..30 {
+            sys.set_online(logical, false);
+        }
+        sys.run_rounds(15);
+        sys.reset_metrics();
+        for t in 0..15 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(6);
+        let s = sys.stats();
+        assert!(s.hit_ratio > 0.95, "hit after churn {}", s.hit_ratio);
+    }
+
+    #[test]
+    fn opt_has_no_relay_traffic() {
+        let mut sys = OptSystem::new(random_params(200, 20, 5, 31));
+        sys.run_rounds(40);
+        sys.reset_metrics();
+        for t in 0..20 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(6);
+        let s = sys.stats();
+        assert_eq!(s.relay_msgs, 0, "flooding a topic subgraph cannot relay");
+        assert!(s.useful_msgs > 0);
+        assert!(s.hit_ratio > 0.3, "some delivery expected, got {}", s.hit_ratio);
+    }
+
+    #[test]
+    fn opt_bounded_degree_respects_cap() {
+        let params = random_params(150, 30, 8, 37);
+        let mut sys = OptSystem::new(params);
+        sys.run_rounds(40);
+        for (_, n) in sys.engine().alive_nodes() {
+            assert!(n.degree() <= 15, "degree {} exceeds cap", n.degree());
+        }
+    }
+
+    #[test]
+    fn opt_unbounded_covers_more_and_grows_degrees() {
+        let params = random_params(150, 30, 8, 41);
+        let bounded = {
+            let mut sys = OptSystem::with_config(
+                params.clone(),
+                OptConfig {
+                    max_degree: Some(8),
+                    ..OptConfig::default()
+                },
+            );
+            sys.run_rounds(40);
+            sys.reset_metrics();
+            for t in 0..30 {
+                sys.publish(TopicId(t));
+            }
+            sys.run_rounds(6);
+            sys.stats().hit_ratio
+        };
+        let (unbounded, max_degree) = {
+            let mut sys = OptSystem::with_config(
+                params,
+                OptConfig {
+                    max_degree: None,
+                    ..OptConfig::default()
+                },
+            );
+            sys.run_rounds(40);
+            let max_degree = sys.degree_distribution().into_iter().max().unwrap();
+            sys.reset_metrics();
+            for t in 0..30 {
+                sys.publish(TopicId(t));
+            }
+            sys.run_rounds(6);
+            (sys.stats().hit_ratio, max_degree)
+        };
+        assert!(
+            unbounded >= bounded,
+            "unbounded {unbounded} < bounded {bounded}"
+        );
+        assert!(max_degree > 8, "unbounded degrees should exceed the cap");
+    }
+
+    #[test]
+    fn systems_are_deterministic() {
+        let run = || {
+            let mut sys = RvrSystem::new(random_params(80, 10, 3, 43));
+            sys.run_rounds(20);
+            sys.reset_metrics();
+            for t in 0..10 {
+                sys.publish(TopicId(t));
+            }
+            sys.run_rounds(4);
+            let s = sys.stats();
+            (s.delivered, s.relay_msgs)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices DESIGN.md calls out: gateway
+//! election (A1), Equation 1 friend ranking (A2), and the sw-link count
+//! (A3). Each bench runs the toggled configuration end to end so that both
+//! the quality deltas (reported by the experiment harness) and the runtime
+//! cost of each mechanism are tracked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vitis::system::{PubSub, SystemParams, VitisSystem};
+use vitis::topic::{TopicId, TopicSet};
+use vitis_workloads::{Correlation, SubscriptionModel};
+
+fn params(gateway_election: bool, utility_selection: bool, k_sw: usize) -> SystemParams {
+    let model = SubscriptionModel {
+        num_nodes: 200,
+        num_topics: 100,
+        num_buckets: 4,
+        subs_per_node: 20,
+        correlation: Correlation::High,
+    };
+    let subs: Vec<TopicSet> = model
+        .generate(5)
+        .into_iter()
+        .map(TopicSet::from_iter)
+        .collect();
+    let mut p = SystemParams::new(subs, model.num_topics);
+    p.seed = 5;
+    p.cfg.gateway_election = gateway_election;
+    p.cfg.utility_selection = utility_selection;
+    p.cfg.k_sw = k_sw;
+    p
+}
+
+fn run_once(p: SystemParams) -> f64 {
+    let topics = p.num_topics;
+    let mut sys = VitisSystem::new(p);
+    sys.run_rounds(25);
+    sys.reset_metrics();
+    for t in 0..topics as u32 {
+        sys.publish(TopicId(t));
+    }
+    sys.run_rounds(5);
+    sys.stats().overhead_pct
+}
+
+fn bench_gateway_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_gateway_election");
+    g.sample_size(10);
+    for &on in &[true, false] {
+        g.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
+            b.iter(|| run_once(params(on, true, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_utility_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a2_utility_ranking");
+    g.sample_size(10);
+    for &on in &[true, false] {
+        g.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
+            b.iter(|| run_once(params(true, on, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_swlink_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a3_sw_links");
+    g.sample_size(10);
+    for &k in &[1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_once(params(true, true, k)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gateway_ablation,
+    bench_utility_ablation,
+    bench_swlink_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! One bench per paper figure: each regenerates the figure's computation
+//! at a reduced scale, so `cargo bench` exercises every harness path and
+//! tracks its cost. The full-size tables come from the
+//! `vitis-experiments` binary (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vitis_experiments::{ablations, fig10, fig11, fig4, fig5, fig6, fig7, fig8_9, Scale};
+use vitis_workloads::Correlation;
+
+fn bench_scale() -> Scale {
+    // Small enough that a full figure-point runs in ~1 s: criterion takes
+    // 10 samples per bench and the suite covers every figure.
+    let mut sc = Scale::proportional(150, 42);
+    sc.warmup_rounds = 25;
+    sc.events = 50;
+    sc.drain_rounds = 5;
+    sc
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_friends_sweep");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("vitis_point_high_corr_f12", |b| {
+        b.iter(|| fig4::vitis_point(&sc, Correlation::High, 12))
+    });
+    g.bench_function("rvr_reference_point", |b| b.iter(|| fig4::rvr_point(&sc)));
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_overhead_distribution");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("vitis_per_node", |b| {
+        b.iter(|| fig5::per_node_overhead(&sc, true, Correlation::High))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_rt_size_sweep");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("vitis_rt25", |b| {
+        b.iter(|| fig6::vitis_point(&sc, Correlation::Low, 25))
+    });
+    g.bench_function("rvr_rt25", |b| b.iter(|| fig6::rvr_point(&sc, 25)));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_rate_skew");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("vitis_alpha2", |b| {
+        b.iter(|| fig7::vitis_point(&sc, Correlation::Random, 2.0))
+    });
+    g.finish();
+}
+
+fn bench_fig8_9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_9_twitter_trace");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("generate_and_fit", |b| b.iter(|| fig8_9::run_fig8(&sc)));
+    g.bench_function("bfs_sample", |b| b.iter(|| fig8_9::sampled_trace(&sc)));
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_twitter_pubsub");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("vitis_rt15", |b| {
+        b.iter(|| fig10::point(&sc, fig10::SystemKind::Vitis, 15))
+    });
+    g.bench_function("opt_rt15", |b| {
+        b.iter(|| fig10::point(&sc, fig10::SystemKind::Opt, 15))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_opt_unbounded");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("degree_stats", |b| b.iter(|| fig11::degree_stats(&sc)));
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    use vitis::system::VitisSystem;
+    use vitis_experiments::fig12::{run_system, ChurnPlan};
+    use vitis_experiments::runner::synthetic_params;
+    use vitis_workloads::SkypeModel;
+
+    let mut g = c.benchmark_group("fig12_churn");
+    g.sample_size(10);
+    let sc = bench_scale();
+    // A short trace (2 days instead of the figure's 10) keeps one
+    // iteration around a second while exercising the same machinery.
+    let plan = ChurnPlan {
+        model: SkypeModel {
+            num_nodes: sc.nodes,
+            horizon_hours: 48.0,
+            flash_crowd_hour: 30.0,
+            ..SkypeModel::default()
+        },
+        window_hours: 12.0,
+        events_per_window: 20,
+    };
+    let trace = plan.model.generate(sc.seed);
+    g.bench_function("vitis_short_trace", |b| {
+        b.iter(|| {
+            let mut sys = VitisSystem::new(synthetic_params(&sc, Correlation::Low));
+            run_system(&mut sys, &plan, &trace)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let sc = bench_scale();
+    g.bench_function("gateway_election", |b| {
+        b.iter(|| ablations::gateway_election(&sc))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8_9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Vitis protocol configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which gossip peer-sampling service the node runs. The paper's
+/// evaluation uses Newscast; Cyclon is a drop-in alternative with more
+/// uniform samples ("any of the existing implementations for this service
+/// can be used", Section III-A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SamplingService {
+    /// Newscast: whole-view exchange, keep the freshest entries.
+    Newscast,
+    /// Cyclon: bounded shuffle with the oldest neighbor.
+    Cyclon,
+}
+
+/// All tunables of a Vitis node. Defaults mirror the paper's experimental
+/// settings (Section IV-A): routing-table size 15, `k = 3` small-world links
+/// counting the two ring links (so one extra sw-neighbor), gateway radius
+/// `d = 5`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VitisConfig {
+    /// Bounded routing-table size (node degree bound). Paper default: 15.
+    pub rt_size: usize,
+    /// Small-world links beyond the two ring links. Paper's `k = 3` counts
+    /// predecessor + successor + this many extras, so the default is 1.
+    pub k_sw: usize,
+    /// Gateway radius `d`: a gateway serves subscribers at most this many
+    /// cluster-hops away; the number of gateways per cluster scales with
+    /// the cluster diameter divided by `d`. Paper default: 5.
+    pub d_max_hops: u32,
+    /// Estimated network size, feeding the Symphony harmonic distance draw.
+    pub est_n: usize,
+    /// Routing-table entries older than this many rounds are expired
+    /// (failure-detection threshold of Algorithm 6).
+    pub age_threshold: u16,
+    /// Relay-path soft state expires after this many rounds without refresh.
+    pub relay_ttl: u16,
+    /// Peer-sampling view capacity.
+    pub sampling_view: usize,
+    /// Which peer-sampling service to run.
+    pub sampling_service: SamplingService,
+    /// Estimate the network size from observed ring density instead of
+    /// trusting `est_n` (Symphony's approach); the estimate feeds the
+    /// harmonic small-world draw.
+    pub estimate_network_size: bool,
+    /// Safety cap on greedy-lookup path length.
+    pub max_lookup_hops: u32,
+    /// Ablation: when false, gateway election is disabled and *every*
+    /// subscriber builds its own relay path (Scribe-like behaviour inside
+    /// Vitis — isolates the contribution of Algorithm 5).
+    pub gateway_election: bool,
+    /// Ablation: when false, friend slots are filled with random candidates
+    /// instead of Equation 1 ranking — isolates the clustering benefit.
+    pub utility_selection: bool,
+}
+
+impl Default for VitisConfig {
+    fn default() -> Self {
+        VitisConfig {
+            rt_size: 15,
+            k_sw: 1,
+            d_max_hops: 5,
+            est_n: 10_000,
+            age_threshold: 5,
+            relay_ttl: 5,
+            sampling_view: 15,
+            sampling_service: SamplingService::Newscast,
+            estimate_network_size: false,
+            max_lookup_hops: 128,
+            gateway_election: true,
+            utility_selection: true,
+        }
+    }
+}
+
+impl VitisConfig {
+    /// Number of friend slots implied by the sizing.
+    pub fn num_friends(&self) -> usize {
+        self.rt_size.saturating_sub(2 + self.k_sw)
+    }
+
+    /// Validate invariants; call after manual construction.
+    ///
+    /// # Panics
+    /// Panics if the table cannot hold the two ring links, or trivially
+    /// invalid values are set.
+    pub fn validate(&self) {
+        assert!(self.rt_size >= 3, "rt_size must hold ring links + 1");
+        assert!(self.est_n >= 2, "est_n must be at least 2");
+        assert!(self.d_max_hops >= 1, "d_max_hops must be at least 1");
+        assert!(self.sampling_view >= 1, "sampling view must be non-empty");
+        assert!(self.max_lookup_hops >= 1, "lookups need at least one hop");
+    }
+
+    /// The Figure 4 sweep: fix `rt_size`, dedicate 2 entries to the ring and
+    /// split the remaining 13 between friends and sw links.
+    pub fn with_friends(mut self, friends: usize) -> Self {
+        assert!(friends + 2 <= self.rt_size, "friends exceed table");
+        self.k_sw = self.rt_size - 2 - friends;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = VitisConfig::default();
+        c.validate();
+        assert_eq!(c.rt_size, 15);
+        assert_eq!(c.k_sw, 1);
+        assert_eq!(c.d_max_hops, 5);
+        assert_eq!(c.num_friends(), 12);
+    }
+
+    #[test]
+    fn with_friends_splits_table() {
+        let c = VitisConfig::default().with_friends(6);
+        assert_eq!(c.k_sw, 7);
+        assert_eq!(c.num_friends(), 6);
+        let c0 = VitisConfig::default().with_friends(0);
+        assert_eq!(c0.k_sw, 13);
+        assert_eq!(c0.num_friends(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "friends exceed table")]
+    fn with_friends_overflow_panics() {
+        let _ = VitisConfig::default().with_friends(14);
+    }
+
+    #[test]
+    #[should_panic(expected = "rt_size")]
+    fn tiny_table_rejected() {
+        let c = VitisConfig {
+            rt_size: 2,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

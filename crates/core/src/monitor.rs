@@ -1,0 +1,472 @@
+//! The evaluation monitor: ground-truth event tracking and data-plane
+//! traffic accounting, shared by all three systems.
+//!
+//! The monitor implements the paper's three metrics:
+//!
+//! * **Hit ratio** — fraction of (event, subscriber) pairs delivered, where
+//!   the expected subscriber set is fixed at publish time (alive subscribers
+//!   that joined at least a grace period earlier, matching the paper's
+//!   "10 seconds after the node joins" rule in the churn experiments).
+//! * **Traffic overhead** — the proportion of *relay* (uninteresting)
+//!   data-plane messages, globally and per node (Figure 5's distribution).
+//! * **Propagation delay** — hops from publisher to subscriber, averaged
+//!   over achieved deliveries.
+//!
+//! A [`Monitor`] is a cheap `Rc` handle cloned into every node of a system;
+//! the engine is single-threaded so `RefCell` suffices.
+
+use crate::topic::TopicId;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use vitis_sim::event::NodeIdx;
+use vitis_sim::metrics::Summary;
+use vitis_sim::time::SimTime;
+
+/// Identifier of a published event within a run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct EventId(pub u64);
+
+#[derive(Clone, Debug)]
+struct EventRecord {
+    topic: TopicId,
+    published_at: SimTime,
+    /// Sorted subscriber slots expected to receive the event.
+    expected: Vec<NodeIdx>,
+    /// slot -> (best hop count, earliest arrival time) observed.
+    delivered: HashMap<NodeIdx, (u32, SimTime)>,
+}
+
+#[derive(Debug, Default)]
+struct MonitorInner {
+    events: Vec<EventRecord>,
+    /// EventId of `events[0]`. Ids stay globally unique across window
+    /// resets — nodes deduplicate forwarding by EventId, so an id must
+    /// never be reused within a run.
+    first_id: u64,
+    /// Per-slot received data-plane messages for subscribed topics.
+    useful_rx: Vec<u64>,
+    /// Per-slot received data-plane messages for unsubscribed topics.
+    relay_rx: Vec<u64>,
+    /// Control-plane bytes sent, per slot (gossip, heartbeats, lookups).
+    control_tx_bytes: Vec<u64>,
+    /// Rounds worth of control traffic observed, per slot.
+    control_rounds: Vec<u64>,
+}
+
+impl MonitorInner {
+    fn record_of(&mut self, event: EventId) -> Option<&mut EventRecord> {
+        let i = event.0.checked_sub(self.first_id)? as usize;
+        self.events.get_mut(i)
+    }
+}
+
+/// Aggregated publish/subscribe metrics over the monitor's current window.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PubSubStats {
+    /// Events published.
+    pub published: u64,
+    /// Total expected (event, subscriber) deliveries.
+    pub expected: u64,
+    /// Deliveries achieved.
+    pub delivered: u64,
+    /// `delivered / expected` (1.0 when nothing was expected).
+    pub hit_ratio: f64,
+    /// Mean hops over achieved deliveries.
+    pub mean_hops: f64,
+    /// Maximum hops over achieved deliveries.
+    pub max_hops: u32,
+    /// Data-plane messages received by interested nodes.
+    pub useful_msgs: u64,
+    /// Data-plane messages received by uninterested (relay) nodes.
+    pub relay_msgs: u64,
+    /// Global traffic overhead: `relay / (relay + useful)` in percent.
+    pub overhead_pct: f64,
+    /// Mean delivery latency in simulation ticks (publish to arrival).
+    pub mean_latency_ticks: f64,
+    /// Maximum delivery latency in ticks.
+    pub max_latency_ticks: u64,
+    /// Mean control-plane bytes a node sends per gossip round.
+    pub control_bytes_per_round: f64,
+}
+
+/// Shared monitor handle.
+#[derive(Clone, Debug, Default)]
+pub struct Monitor {
+    inner: Rc<RefCell<MonitorInner>>,
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Register a published event with its ground-truth expected subscriber
+    /// set (the caller excludes the publisher and applies any join-grace
+    /// filtering). Returns the event's id.
+    pub fn register_event(
+        &self,
+        topic: TopicId,
+        published_at: SimTime,
+        mut expected: Vec<NodeIdx>,
+    ) -> EventId {
+        expected.sort_unstable();
+        expected.dedup();
+        let mut inner = self.inner.borrow_mut();
+        let id = EventId(inner.first_id + inner.events.len() as u64);
+        inner.events.push(EventRecord {
+            topic,
+            published_at,
+            expected,
+            delivered: HashMap::new(),
+        });
+        id
+    }
+
+    /// Record the arrival of `event` at `node` after `hops` hops at time
+    /// `now`. Arrivals at nodes outside the expected set are ignored (e.g.
+    /// late joiners); repeated arrivals keep the minimum hop count and the
+    /// earliest arrival time.
+    pub fn record_delivery(&self, event: EventId, node: NodeIdx, hops: u32, now: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(rec) = inner.record_of(event) else {
+            return;
+        };
+        if rec.expected.binary_search(&node).is_err() {
+            return;
+        }
+        rec.delivered
+            .entry(node)
+            .and_modify(|(h, t)| {
+                *h = (*h).min(hops);
+                *t = (*t).min(now);
+            })
+            .or_insert((hops, now));
+    }
+
+    /// Account control-plane bytes sent by `node` (gossip buffers,
+    /// heartbeats, relay lookups, exchange replies).
+    pub fn record_control_tx(&self, node: NodeIdx, bytes: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let i = node.index();
+        if inner.control_tx_bytes.len() <= i {
+            inner.control_tx_bytes.resize(i + 1, 0);
+        }
+        inner.control_tx_bytes[i] += bytes;
+    }
+
+    /// Mark one gossip round executed at `node`; the per-round control
+    /// bandwidth statistic divides recorded bytes by recorded rounds.
+    pub fn record_control_round(&self, node: NodeIdx) {
+        let mut inner = self.inner.borrow_mut();
+        let i = node.index();
+        if inner.control_rounds.len() <= i {
+            inner.control_rounds.resize(i + 1, 0);
+        }
+        inner.control_rounds[i] += 1;
+    }
+
+    /// Account one received data-plane message at `node`; `useful` is true
+    /// iff the receiver is subscribed to the message's topic.
+    pub fn record_data_rx(&self, node: NodeIdx, useful: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let i = node.index();
+        let v = if useful {
+            &mut inner.useful_rx
+        } else {
+            &mut inner.relay_rx
+        };
+        if v.len() <= i {
+            v.resize(i + 1, 0);
+        }
+        v[i] += 1;
+    }
+
+    /// Delivery latency (in ticks) is not tracked — the paper measures hops.
+    /// Exposed for completeness of per-event introspection in tests.
+    pub fn event_published_at(&self, event: EventId) -> Option<SimTime> {
+        self.inner
+            .borrow_mut()
+            .record_of(event)
+            .map(|r| r.published_at)
+    }
+
+    /// Expected and delivered counts of a single event.
+    pub fn event_progress(&self, event: EventId) -> Option<(usize, usize)> {
+        self.inner
+            .borrow_mut()
+            .record_of(event)
+            .map(|r| (r.expected.len(), r.delivered.len()))
+    }
+
+    /// Aggregate metrics over everything recorded since the last reset.
+    pub fn snapshot(&self) -> PubSubStats {
+        let inner = self.inner.borrow();
+        let mut expected = 0u64;
+        let mut delivered = 0u64;
+        let mut hops = Summary::new();
+        let mut max_hops = 0u32;
+        let mut latency = Summary::new();
+        let mut max_latency = 0u64;
+        for rec in &inner.events {
+            expected += rec.expected.len() as u64;
+            delivered += rec.delivered.len() as u64;
+            for &(h, at) in rec.delivered.values() {
+                hops.record(h as f64);
+                max_hops = max_hops.max(h);
+                let lat = at.since(rec.published_at).ticks();
+                latency.record(lat as f64);
+                max_latency = max_latency.max(lat);
+            }
+        }
+        let ctl_bytes: u64 = inner.control_tx_bytes.iter().sum();
+        let ctl_rounds: u64 = inner.control_rounds.iter().sum();
+        let useful: u64 = inner.useful_rx.iter().sum();
+        let relay: u64 = inner.relay_rx.iter().sum();
+        let total = useful + relay;
+        PubSubStats {
+            published: inner.events.len() as u64,
+            expected,
+            delivered,
+            hit_ratio: if expected == 0 {
+                1.0
+            } else {
+                delivered as f64 / expected as f64
+            },
+            mean_hops: hops.mean(),
+            max_hops,
+            useful_msgs: useful,
+            relay_msgs: relay,
+            overhead_pct: if total == 0 {
+                0.0
+            } else {
+                100.0 * relay as f64 / total as f64
+            },
+            mean_latency_ticks: latency.mean(),
+            max_latency_ticks: max_latency,
+            control_bytes_per_round: if ctl_rounds == 0 {
+                0.0
+            } else {
+                ctl_bytes as f64 / ctl_rounds as f64
+            },
+        }
+    }
+
+    /// Per-node traffic overhead in percent, for every slot that received at
+    /// least `min_msgs` data-plane messages (Figure 5's distribution).
+    pub fn per_node_overhead(&self, min_msgs: u64) -> Vec<(NodeIdx, f64)> {
+        let inner = self.inner.borrow();
+        let n = inner.useful_rx.len().max(inner.relay_rx.len());
+        let mut out = Vec::new();
+        for i in 0..n {
+            let u = inner.useful_rx.get(i).copied().unwrap_or(0);
+            let r = inner.relay_rx.get(i).copied().unwrap_or(0);
+            let total = u + r;
+            if total >= min_msgs.max(1) {
+                out.push((NodeIdx(i as u32), 100.0 * r as f64 / total as f64));
+            }
+        }
+        out
+    }
+
+    /// Per-topic delivery breakdown over the current window:
+    /// `(topic, expected, delivered)`, topics in ascending order. Lets a
+    /// harness find the worst-served topics (e.g. split clusters).
+    pub fn per_topic_progress(&self) -> Vec<(TopicId, u64, u64)> {
+        let inner = self.inner.borrow();
+        let mut by_topic: std::collections::BTreeMap<TopicId, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for rec in &inner.events {
+            let e = by_topic.entry(rec.topic).or_insert((0, 0));
+            e.0 += rec.expected.len() as u64;
+            e.1 += rec.delivered.len() as u64;
+        }
+        by_topic
+            .into_iter()
+            .map(|(t, (exp, del))| (t, exp, del))
+            .collect()
+    }
+
+    /// Forget all events and traffic (end of a warmup phase, or the start
+    /// of a new measurement window in the churn experiment).
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.first_id += inner.events.len() as u64;
+        inner.events.clear();
+        inner.useful_rx.clear();
+        inner.relay_rx.clear();
+        inner.control_tx_bytes.clear();
+        inner.control_rounds.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeIdx {
+        NodeIdx(i)
+    }
+
+    #[test]
+    fn hit_ratio_counts_expected_pairs_only() {
+        let m = Monitor::new();
+        let e = m.register_event(TopicId(0), SimTime(5), vec![n(1), n(2), n(3)]);
+        m.record_delivery(e, n(1), 2, SimTime(9));
+        m.record_delivery(e, n(2), 4, SimTime(9));
+        m.record_delivery(e, n(9), 1, SimTime(9)); // not expected: ignored
+        let s = m.snapshot();
+        assert_eq!(s.published, 1);
+        assert_eq!(s.expected, 3);
+        assert_eq!(s.delivered, 2);
+        assert!((s.hit_ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_hops - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_hops, 4);
+    }
+
+    #[test]
+    fn duplicate_deliveries_keep_min_hops() {
+        let m = Monitor::new();
+        let e = m.register_event(TopicId(0), SimTime(0), vec![n(1)]);
+        m.record_delivery(e, n(1), 7, SimTime(9));
+        m.record_delivery(e, n(1), 3, SimTime(9));
+        m.record_delivery(e, n(1), 9, SimTime(9));
+        let s = m.snapshot();
+        assert_eq!(s.delivered, 1);
+        assert!((s.mean_hops - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_set_dedups() {
+        let m = Monitor::new();
+        let e = m.register_event(TopicId(0), SimTime(0), vec![n(1), n(1), n(2)]);
+        assert_eq!(m.event_progress(e), Some((2, 0)));
+    }
+
+    #[test]
+    fn overhead_is_relay_share() {
+        let m = Monitor::new();
+        for _ in 0..3 {
+            m.record_data_rx(n(0), true);
+        }
+        m.record_data_rx(n(1), false);
+        let s = m.snapshot();
+        assert_eq!(s.useful_msgs, 3);
+        assert_eq!(s.relay_msgs, 1);
+        assert!((s.overhead_pct - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_node_overhead_distribution() {
+        let m = Monitor::new();
+        m.record_data_rx(n(0), true);
+        m.record_data_rx(n(0), false);
+        m.record_data_rx(n(2), false);
+        let d = m.per_node_overhead(1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], (n(0), 50.0));
+        assert_eq!(d[1], (n(2), 100.0));
+        // Threshold filters low-traffic nodes.
+        assert_eq!(m.per_node_overhead(2).len(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_benign() {
+        let s = Monitor::new().snapshot();
+        assert_eq!(s.hit_ratio, 1.0);
+        assert_eq!(s.overhead_pct, 0.0);
+        assert_eq!(s.mean_hops, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_window() {
+        let m = Monitor::new();
+        let e = m.register_event(TopicId(0), SimTime(0), vec![n(1)]);
+        m.record_delivery(e, n(1), 1, SimTime(9));
+        m.record_data_rx(n(1), false);
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.published, 0);
+        assert_eq!(s.relay_msgs, 0);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let m = Monitor::new();
+        let m2 = m.clone();
+        m2.register_event(TopicId(1), SimTime(0), vec![n(0)]);
+        assert_eq!(m.snapshot().published, 1);
+    }
+}
+
+#[cfg(test)]
+mod reset_tests {
+    use super::*;
+
+    #[test]
+    fn event_ids_stay_unique_across_resets() {
+        let m = Monitor::new();
+        let a = m.register_event(TopicId(0), SimTime(0), vec![NodeIdx(1)]);
+        m.reset();
+        let b = m.register_event(TopicId(0), SimTime(1), vec![NodeIdx(1)]);
+        assert_ne!(a, b);
+        // Deliveries against the pre-reset id are ignored, not misattributed.
+        m.record_delivery(a, NodeIdx(1), 1, SimTime(9));
+        assert_eq!(m.snapshot().delivered, 0);
+        m.record_delivery(b, NodeIdx(1), 1, SimTime(9));
+        assert_eq!(m.snapshot().delivered, 1);
+    }
+}
+
+#[cfg(test)]
+mod bandwidth_tests {
+    use super::*;
+
+    #[test]
+    fn latency_tracks_publish_to_arrival() {
+        let m = Monitor::new();
+        let e = m.register_event(TopicId(0), SimTime(100), vec![NodeIdx(1), NodeIdx(2)]);
+        m.record_delivery(e, NodeIdx(1), 2, SimTime(130));
+        m.record_delivery(e, NodeIdx(2), 5, SimTime(160));
+        // A later duplicate must not worsen the recorded latency.
+        m.record_delivery(e, NodeIdx(1), 9, SimTime(500));
+        let s = m.snapshot();
+        assert!((s.mean_latency_ticks - 45.0).abs() < 1e-9);
+        assert_eq!(s.max_latency_ticks, 60);
+        assert!((s.mean_hops - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn control_bandwidth_is_bytes_per_round() {
+        let m = Monitor::new();
+        m.record_control_round(NodeIdx(0));
+        m.record_control_tx(NodeIdx(0), 300);
+        m.record_control_round(NodeIdx(0));
+        m.record_control_tx(NodeIdx(0), 100);
+        m.record_control_round(NodeIdx(1));
+        let s = m.snapshot();
+        assert!((s.control_bytes_per_round - 400.0 / 3.0).abs() < 1e-9);
+        m.reset();
+        assert_eq!(m.snapshot().control_bytes_per_round, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod per_topic_tests {
+    use super::*;
+
+    #[test]
+    fn per_topic_progress_groups_and_sorts() {
+        let m = Monitor::new();
+        let a = m.register_event(TopicId(2), SimTime(0), vec![NodeIdx(1), NodeIdx(2)]);
+        let b = m.register_event(TopicId(0), SimTime(0), vec![NodeIdx(3)]);
+        let c = m.register_event(TopicId(2), SimTime(1), vec![NodeIdx(4)]);
+        m.record_delivery(a, NodeIdx(1), 1, SimTime(2));
+        m.record_delivery(b, NodeIdx(3), 1, SimTime(2));
+        let _ = c;
+        let got = m.per_topic_progress();
+        assert_eq!(got, vec![(TopicId(0), 1, 1), (TopicId(2), 3, 1)]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Relay-path soft state.
+//!
+//! A relay path is the greedy lookup path from a cluster gateway to the
+//! topic's rendezvous node. Every node on the path — subscriber or not —
+//! installs a [`RelayEntry`]: one *upstream* link pointing toward the
+//! rendezvous and any number of *downstream* links pointing back toward the
+//! gateways whose lookups passed through. Notifications travel up to the
+//! rendezvous and back down every other branch, which is what stitches the
+//! disjoint clusters of a topic together.
+//!
+//! The state is soft: gateways re-issue their lookups every round, each pass
+//! refreshes the links it uses, and anything unrefreshed for `ttl` rounds is
+//! dropped — this is how the structure heals around churn.
+
+use crate::topic::TopicId;
+use std::collections::BTreeMap;
+use vitis_sim::event::NodeIdx;
+
+/// Per-topic relay state at one node.
+#[derive(Clone, Debug, Default)]
+pub struct RelayEntry {
+    /// Next hop toward the rendezvous, with its freshness age. `None` at the
+    /// rendezvous node itself.
+    upstream: Option<(NodeIdx, u16)>,
+    /// Links back toward gateways, with freshness ages.
+    downstream: Vec<(NodeIdx, u16)>,
+    /// Whether this node currently believes it is the topic's rendezvous.
+    rendezvous: bool,
+}
+
+impl RelayEntry {
+    /// The upstream next hop, if any.
+    pub fn upstream(&self) -> Option<NodeIdx> {
+        self.upstream.map(|(n, _)| n)
+    }
+
+    /// The downstream links.
+    pub fn downstreams(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.downstream.iter().map(|&(n, _)| n)
+    }
+
+    /// Whether this node is the rendezvous for the topic.
+    pub fn is_rendezvous(&self) -> bool {
+        self.rendezvous
+    }
+}
+
+/// All relay entries held by one node.
+#[derive(Clone, Debug, Default)]
+pub struct RelayTable {
+    entries: BTreeMap<TopicId, RelayEntry>,
+}
+
+impl RelayTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RelayTable::default()
+    }
+
+    /// Record a relay request for `topic` arriving from `from` (a gateway
+    /// or an earlier path node): installs/refreshes the downstream link.
+    pub fn add_downstream(&mut self, topic: TopicId, from: NodeIdx) {
+        let e = self.entries.entry(topic).or_default();
+        match e.downstream.iter_mut().find(|(n, _)| *n == from) {
+            Some(link) => link.1 = 0,
+            None => e.downstream.push((from, 0)),
+        }
+    }
+
+    /// Install/refresh the upstream link of `topic` toward `next`, clearing
+    /// any rendezvous claim. If the greedy next hop changed (churn moved the
+    /// rendezvous), the old link is replaced.
+    pub fn set_upstream(&mut self, topic: TopicId, next: NodeIdx) {
+        let e = self.entries.entry(topic).or_default();
+        e.upstream = Some((next, 0));
+        e.rendezvous = false;
+    }
+
+    /// Mark this node as the rendezvous for `topic` (lookup terminated
+    /// here): no upstream exists.
+    pub fn mark_rendezvous(&mut self, topic: TopicId) {
+        let e = self.entries.entry(topic).or_default();
+        e.upstream = None;
+        e.rendezvous = true;
+    }
+
+    /// The entry for `topic`, if any.
+    pub fn get(&self, topic: TopicId) -> Option<&RelayEntry> {
+        self.entries.get(&topic)
+    }
+
+    /// Whether this node holds relay state for `topic`.
+    pub fn has(&self, topic: TopicId) -> bool {
+        self.entries.contains_key(&topic)
+    }
+
+    /// Number of topics with relay state here.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forwarding fan-out for a notification on `topic` arriving from
+    /// `from`: the upstream link plus every downstream link, minus the
+    /// sender. Empty if this node has no relay state for the topic.
+    pub fn fanout(&self, topic: TopicId, from: Option<NodeIdx>) -> Vec<NodeIdx> {
+        let Some(e) = self.entries.get(&topic) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(e.downstream.len() + 1);
+        if let Some((up, _)) = e.upstream {
+            if Some(up) != from {
+                out.push(up);
+            }
+        }
+        for &(down, _) in &e.downstream {
+            if Some(down) != from && !out.contains(&down) {
+                out.push(down);
+            }
+        }
+        out
+    }
+
+    /// Age all links by one round.
+    pub fn tick(&mut self) {
+        for e in self.entries.values_mut() {
+            if let Some((_, age)) = &mut e.upstream {
+                *age = age.saturating_add(1);
+            }
+            for (_, age) in &mut e.downstream {
+                *age = age.saturating_add(1);
+            }
+        }
+    }
+
+    /// Drop links unrefreshed for more than `ttl` rounds, and entries left
+    /// with no links at all. A linkless rendezvous claim is dropped too: the
+    /// next lookup that terminates here re-creates it for free.
+    pub fn expire(&mut self, ttl: u16) {
+        self.entries.retain(|_, e| {
+            if e.upstream.is_some_and(|(_, age)| age > ttl) {
+                e.upstream = None;
+            }
+            e.downstream.retain(|&(_, age)| age <= ttl);
+            e.upstream.is_some() || !e.downstream.is_empty()
+        });
+    }
+
+    /// Remove a failed neighbor from every entry.
+    pub fn remove_peer(&mut self, peer: NodeIdx) {
+        self.entries.retain(|_, e| {
+            if e.upstream.is_some_and(|(n, _)| n == peer) {
+                e.upstream = None;
+            }
+            e.downstream.retain(|&(n, _)| n != peer);
+            e.upstream.is_some() || !e.downstream.is_empty()
+        });
+    }
+
+    /// Topics with active relay state (for metrics/tests).
+    pub fn topics(&self) -> impl Iterator<Item = TopicId> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeIdx {
+        NodeIdx(i)
+    }
+    const T: TopicId = TopicId(3);
+
+    #[test]
+    fn fanout_forwards_everywhere_except_sender() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(T, n(1));
+        rt.add_downstream(T, n(2));
+        rt.set_upstream(T, n(9));
+        let f = rt.fanout(T, Some(n(1)));
+        assert_eq!(f, vec![n(9), n(2)]);
+        let f = rt.fanout(T, Some(n(9)));
+        assert_eq!(f, vec![n(1), n(2)]);
+        let f = rt.fanout(T, None);
+        assert_eq!(f, vec![n(9), n(1), n(2)]);
+        assert!(rt.fanout(TopicId(99), None).is_empty());
+    }
+
+    #[test]
+    fn rendezvous_has_no_upstream() {
+        let mut rt = RelayTable::new();
+        rt.set_upstream(T, n(9));
+        rt.mark_rendezvous(T);
+        let e = rt.get(T).unwrap();
+        assert!(e.is_rendezvous());
+        assert_eq!(e.upstream(), None);
+        // Re-routing later clears the rendezvous claim.
+        rt.set_upstream(T, n(4));
+        assert!(!rt.get(T).unwrap().is_rendezvous());
+    }
+
+    #[test]
+    fn refresh_resets_ages() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(T, n(1));
+        rt.tick();
+        rt.tick();
+        rt.add_downstream(T, n(1)); // refresh
+        rt.expire(1);
+        assert!(rt.has(T));
+        assert_eq!(rt.get(T).unwrap().downstreams().count(), 1);
+    }
+
+    #[test]
+    fn expiry_drops_stale_links_and_empty_entries() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(T, n(1));
+        rt.set_upstream(T, n(9));
+        for _ in 0..3 {
+            rt.tick();
+        }
+        rt.expire(2);
+        assert!(!rt.has(T), "fully stale entry must vanish");
+    }
+
+    #[test]
+    fn partial_expiry_keeps_fresh_links() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(T, n(1));
+        for _ in 0..3 {
+            rt.tick();
+        }
+        rt.add_downstream(T, n(2)); // fresh
+        rt.expire(2);
+        let e = rt.get(T).unwrap();
+        assert_eq!(e.downstreams().collect::<Vec<_>>(), vec![n(2)]);
+    }
+
+    #[test]
+    fn remove_peer_heals_entries() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(T, n(1));
+        rt.set_upstream(T, n(9));
+        rt.remove_peer(n(9));
+        assert!(rt.has(T)); // downstream survives
+        assert_eq!(rt.get(T).unwrap().upstream(), None);
+        rt.remove_peer(n(1));
+        assert!(!rt.has(T));
+    }
+
+    #[test]
+    fn duplicate_downstream_not_added() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(T, n(1));
+        rt.add_downstream(T, n(1));
+        assert_eq!(rt.get(T).unwrap().downstreams().count(), 1);
+        assert_eq!(rt.len(), 1);
+    }
+}

@@ -1,0 +1,547 @@
+//! The system-level API: a whole Vitis network in one value, plus the
+//! [`PubSub`] trait that the RVR and OPT baselines also implement so the
+//! experiment harness can drive all three uniformly.
+
+use crate::config::VitisConfig;
+use crate::harness::Workload;
+use crate::monitor::{EventId, Monitor, PubSubStats};
+use crate::msg::VitisMsg;
+use crate::node::VitisNode;
+use crate::topic::{RateTable, TopicId, TopicSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::rc::Rc;
+use vitis_overlay::entry::Entry;
+use vitis_overlay::graph::Graph;
+use vitis_overlay::id::Id;
+use vitis_sim::engine::{Engine, EngineConfig};
+use vitis_sim::event::NodeIdx;
+use vitis_sim::prelude::StopReason;
+use vitis_sim::rng::{domain, stream_rng};
+use vitis_sim::time::{Duration, SimTime};
+
+/// The uniform driver interface over Vitis, RVR and OPT systems.
+pub trait PubSub {
+    /// Advance `n` gossip rounds.
+    fn run_rounds(&mut self, n: u64);
+
+    /// Advance by raw simulation ticks (fine-grained churn interleaving).
+    fn run_ticks(&mut self, ticks: u64);
+
+    /// Publish one event on `topic` from a random online subscriber.
+    /// Returns `None` when no subscriber is online.
+    fn publish(&mut self, topic: TopicId) -> Option<EventId>;
+
+    /// Publish one event on a rate-weighted random topic.
+    fn publish_weighted(&mut self) -> Option<EventId>;
+
+    /// Metrics since the last reset.
+    fn stats(&self) -> PubSubStats;
+
+    /// Clear the measurement window (end of warmup).
+    fn reset_metrics(&mut self);
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Number of online nodes.
+    fn alive_count(&self) -> usize;
+
+    /// Bring a logical node online/offline (churn driver hook). No-op if
+    /// already in the requested state.
+    fn set_online(&mut self, logical: u32, online: bool);
+
+    /// Mean node degree over online nodes.
+    fn mean_degree(&self) -> f64;
+
+    /// Per-node traffic overhead percentages (Figure 5's distribution),
+    /// over nodes that received at least `min_msgs` data-plane messages.
+    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64>;
+}
+
+/// The network model a system runs over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NetworkSpec {
+    /// Constant per-message latency in ticks.
+    Constant(u64),
+    /// Uniform latency in `[min, max]` ticks.
+    Uniform(u64, u64),
+    /// Constant latency plus independent per-message loss probability.
+    LossyConstant(u64, f64),
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        NetworkSpec::Constant(1)
+    }
+}
+
+impl NetworkSpec {
+    /// Materialize the boxed model for an engine.
+    pub fn build(self) -> vitis_sim::network::DynNetworkModel {
+        use vitis_sim::network::{ConstantLatency, Lossy, UniformLatency};
+        match self {
+            NetworkSpec::Constant(d) => Box::new(ConstantLatency(Duration(d))),
+            NetworkSpec::Uniform(min, max) => Box::new(UniformLatency { min, max }),
+            NetworkSpec::LossyConstant(d, loss) => Box::new(Lossy {
+                inner: ConstantLatency(Duration(d)),
+                loss,
+            }),
+        }
+    }
+}
+
+/// Construction parameters for [`VitisSystem`] (and, mirrored, for the
+/// baseline systems).
+#[derive(Clone)]
+pub struct SystemParams {
+    /// Master seed for the run.
+    pub seed: u64,
+    /// Protocol configuration.
+    pub cfg: VitisConfig,
+    /// Per-logical-node subscriptions.
+    pub subscriptions: Vec<TopicSet>,
+    /// Number of topics.
+    pub num_topics: usize,
+    /// Per-topic publication rates.
+    pub rates: RateTable,
+    /// Gossip round period in ticks.
+    pub round_period: Duration,
+    /// Bootstrap contacts handed to each joining node.
+    pub bootstrap_contacts: usize,
+    /// Join grace before a node is counted in expected-delivery sets.
+    pub grace: Duration,
+    /// The network model (latency/loss) messages travel over.
+    pub network: NetworkSpec,
+}
+
+impl SystemParams {
+    /// Sensible defaults around a subscription assignment.
+    pub fn new(subscriptions: Vec<TopicSet>, num_topics: usize) -> Self {
+        let n = subscriptions.len();
+        let rates = RateTable::uniform(num_topics);
+        let cfg = VitisConfig {
+            est_n: n.max(2),
+            ..VitisConfig::default()
+        };
+        SystemParams {
+            seed: 42,
+            cfg,
+            subscriptions,
+            num_topics,
+            rates,
+            round_period: Duration(64),
+            bootstrap_contacts: 5,
+            grace: Duration(0),
+            network: NetworkSpec::default(),
+        }
+    }
+}
+
+/// A complete Vitis network: engine, nodes, workload ground truth and
+/// metrics, behind a compact public API.
+pub struct VitisSystem {
+    engine: Engine<VitisNode, vitis_sim::network::DynNetworkModel>,
+    monitor: Monitor,
+    workload: Workload,
+    cfg: Rc<VitisConfig>,
+    boot_rng: SmallRng,
+    bootstrap_contacts: usize,
+}
+
+impl VitisSystem {
+    /// Build and start a network with every node online.
+    pub fn new(params: SystemParams) -> Self {
+        params.cfg.validate();
+        let n = params.subscriptions.len();
+        let cfg = Rc::new(params.cfg);
+        let monitor = Monitor::new();
+        let workload = Workload::new(
+            params.subscriptions,
+            params.num_topics,
+            params.rates,
+            params.grace,
+            params.seed,
+        );
+        let engine = Engine::with_network(
+            EngineConfig {
+                seed: params.seed,
+                round_period: params.round_period,
+                desynchronize_rounds: true,
+            },
+            params.network.build(),
+        );
+        let boot_rng = stream_rng(params.seed, domain::WORKLOAD, u64::MAX);
+        let mut sys = VitisSystem {
+            engine,
+            monitor,
+            workload,
+            cfg,
+            boot_rng,
+            bootstrap_contacts: params.bootstrap_contacts,
+        };
+        for logical in 0..n as u32 {
+            let node = sys.make_node(logical);
+            let slot = sys.engine.add_node(node);
+            debug_assert_eq!(slot.0, logical);
+        }
+        sys
+    }
+
+    fn make_node(&mut self, logical: u32) -> VitisNode {
+        let subs = self.workload.subs_of(logical).clone();
+        let bootstrap = self.bootstrap_entries();
+        VitisNode::new(
+            Id::of_node(logical as u64),
+            subs,
+            self.cfg.clone(),
+            self.workload.rates().clone(),
+            self.monitor.clone(),
+            bootstrap,
+        )
+    }
+
+    /// Sample bootstrap contacts among currently online nodes (the
+    /// bootstrap-server emulation of Algorithm 1).
+    fn bootstrap_entries(&mut self) -> Vec<Entry<Rc<TopicSet>>> {
+        let mut alive: Vec<NodeIdx> = self.engine.alive_indices();
+        alive.shuffle(&mut self.boot_rng);
+        alive
+            .into_iter()
+            .take(self.bootstrap_contacts)
+            .map(|slot| {
+                let node = self.engine.node(slot).expect("sampled alive node");
+                Entry::fresh(slot, node.ring_id(), node.subscriptions().clone())
+            })
+            .collect()
+    }
+
+    /// The shared monitor (e.g. for custom event registration in tests).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The underlying engine (read access for snapshots).
+    pub fn engine(&self) -> &Engine<VitisNode, vitis_sim::network::DynNetworkModel> {
+        &self.engine
+    }
+
+    /// Replace the subscriptions of an online node at runtime; the change
+    /// is reflected both in the delivery ground truth and in the node's
+    /// next profile heartbeat.
+    pub fn resubscribe(&mut self, logical: u32, new_subs: TopicSet) {
+        self.workload.resubscribe(logical, new_subs);
+        let subs = self.workload.subs_of(logical).clone();
+        if let Some(node) = self.engine.node_mut(NodeIdx(logical)) {
+            node.set_subscriptions(subs);
+        }
+    }
+
+    /// The workload ground truth.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Snapshot the current overlay as an undirected graph (an edge per
+    /// routing-table link to an online node).
+    pub fn overlay_graph(&self) -> Graph {
+        let n = self.engine.num_slots();
+        let mut g = Graph::new(n);
+        for (idx, node) in self.engine.alive_nodes() {
+            for e in node.routing_table().iter() {
+                if self.engine.is_alive(e.addr) {
+                    g.add_edge(idx.0, e.addr.0);
+                }
+            }
+        }
+        g
+    }
+
+    /// The clusters (maximal connected subscriber subgraphs) of `topic` in
+    /// the current overlay.
+    pub fn topic_clusters(&self, topic: TopicId) -> Vec<Vec<u32>> {
+        let g = self.overlay_graph();
+        let subs: Vec<u32> = self
+            .workload
+            .subscribers(topic)
+            .iter()
+            .copied()
+            .filter(|&s| self.engine.is_alive(NodeIdx(s)))
+            .collect();
+        g.components_within(&subs)
+    }
+
+    /// Publish from an explicit node (must be online). Returns the event id.
+    pub fn publish_from(&mut self, publisher: u32, topic: TopicId) -> Option<EventId> {
+        if !self.engine.is_alive(NodeIdx(publisher)) {
+            return None;
+        }
+        let now = self.engine.now();
+        let engine = &self.engine;
+        let expected = self.workload.expected_subscribers(topic, publisher, now, |s| {
+            engine.joined_at(NodeIdx(s))
+        });
+        let event = self.monitor.register_event(topic, now, expected);
+        self.engine.inject(
+            NodeIdx(publisher),
+            VitisMsg::PublishCmd { event, topic },
+        );
+        Some(event)
+    }
+
+    /// Fraction of online nodes whose successor pointer matches the true
+    /// ring (convergence diagnostic).
+    pub fn ring_accuracy(&self) -> f64 {
+        let nodes: Vec<(Id, Option<Id>)> = self
+            .engine
+            .alive_nodes()
+            .map(|(_, n)| {
+                (
+                    n.ring_id(),
+                    n.routing_table().succ.as_ref().and_then(|s| {
+                        self.engine.is_alive(s.addr).then_some(s.id)
+                    }),
+                )
+            })
+            .collect();
+        vitis_overlay::ring::ring_accuracy(&nodes)
+    }
+}
+
+impl PubSub for VitisSystem {
+    fn run_rounds(&mut self, n: u64) {
+        self.engine.run_rounds(n);
+    }
+
+    fn run_ticks(&mut self, ticks: u64) {
+        self.engine.run_for(Duration(ticks));
+    }
+
+    fn publish(&mut self, topic: TopicId) -> Option<EventId> {
+        let engine = &self.engine;
+        let publisher = self
+            .workload
+            .choose_publisher(topic, |s| engine.is_alive(NodeIdx(s)))?;
+        self.publish_from(publisher, topic)
+    }
+
+    fn publish_weighted(&mut self) -> Option<EventId> {
+        let topic = self.workload.draw_topic();
+        self.publish(topic)
+    }
+
+    fn stats(&self) -> PubSubStats {
+        self.monitor.snapshot()
+    }
+
+    fn reset_metrics(&mut self) {
+        self.monitor.reset();
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn alive_count(&self) -> usize {
+        self.engine.alive_count()
+    }
+
+    fn set_online(&mut self, logical: u32, online: bool) {
+        let slot = NodeIdx(logical);
+        let is_alive = self.engine.is_alive(slot);
+        match (is_alive, online) {
+            (false, true) => {
+                let node = self.make_node(logical);
+                if (slot.index()) < self.engine.num_slots() {
+                    self.engine.rejoin_node(slot, node);
+                } else {
+                    let got = self.engine.add_node(node);
+                    assert_eq!(got, slot, "logical ids must join in order");
+                }
+            }
+            (true, false) => {
+                self.engine.remove_node(slot, StopReason::Crash);
+            }
+            _ => {}
+        }
+    }
+
+    fn mean_degree(&self) -> f64 {
+        let (sum, count) = self
+            .engine
+            .alive_nodes()
+            .fold((0usize, 0usize), |(s, c), (_, n)| {
+                (s + n.routing_table().len(), c + 1)
+            });
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64> {
+        self.monitor
+            .per_node_overhead(min_msgs)
+            .into_iter()
+            .map(|(_, pct)| pct)
+            .collect()
+    }
+}
+
+/// Deterministic helper used across tests/benches: a quick static network
+/// with `n` nodes, `topics` topics, `subs_per_node` random subscriptions.
+pub fn random_system(n: usize, topics: usize, subs_per_node: usize, seed: u64) -> VitisSystem {
+    let mut rng = stream_rng(seed, domain::WORKLOAD, 1);
+    let subscriptions: Vec<TopicSet> = (0..n)
+        .map(|_| {
+            TopicSet::from_iter(
+                (0..subs_per_node).map(|_| rng.gen_range(0..topics as u32)),
+            )
+        })
+        .collect();
+    let mut params = SystemParams::new(subscriptions, topics);
+    params.seed = seed;
+    VitisSystem::new(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Converged static network: every event reaches every subscriber.
+    #[test]
+    fn full_hit_ratio_after_convergence() {
+        let mut sys = random_system(200, 40, 6, 11);
+        sys.run_rounds(40);
+        sys.reset_metrics();
+        for t in 0..40 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(6);
+        let s = sys.stats();
+        assert!(s.expected > 0);
+        assert!(
+            s.hit_ratio > 0.99,
+            "hit ratio {} ({} / {})",
+            s.hit_ratio,
+            s.delivered,
+            s.expected
+        );
+        assert!(s.overhead_pct < 60.0, "overhead {}", s.overhead_pct);
+        assert!(s.mean_hops >= 1.0);
+    }
+
+    #[test]
+    fn ring_converges() {
+        let mut sys = random_system(150, 20, 4, 3);
+        sys.run_rounds(40);
+        let acc = sys.ring_accuracy();
+        assert!(acc > 0.95, "ring accuracy {acc}");
+    }
+
+    #[test]
+    fn degree_stays_bounded() {
+        let mut sys = random_system(120, 30, 5, 5);
+        sys.run_rounds(30);
+        for (_, node) in sys.engine().alive_nodes() {
+            assert!(node.routing_table().len() <= 15);
+        }
+        assert!(sys.mean_degree() <= 15.0);
+        assert!(sys.mean_degree() > 5.0, "table should fill up");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sys = random_system(80, 10, 3, seed);
+            sys.run_rounds(20);
+            sys.reset_metrics();
+            for t in 0..10 {
+                sys.publish(TopicId(t));
+            }
+            sys.run_rounds(4);
+            let s = sys.stats();
+            (s.delivered, s.useful_msgs, s.relay_msgs)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn churn_recovery_restores_delivery() {
+        let mut sys = random_system(150, 15, 4, 21);
+        sys.run_rounds(30);
+        // Crash 20% of the nodes.
+        for logical in 0..30 {
+            sys.set_online(logical, false);
+        }
+        assert_eq!(sys.alive_count(), 120);
+        sys.run_rounds(15); // heal
+        sys.reset_metrics();
+        for t in 0..15 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(6);
+        let s = sys.stats();
+        assert!(s.hit_ratio > 0.97, "hit ratio after churn {}", s.hit_ratio);
+        // Bring them back: they rejoin and eventually receive events again.
+        for logical in 0..30 {
+            sys.set_online(logical, true);
+        }
+        assert_eq!(sys.alive_count(), 150);
+        sys.run_rounds(15);
+        sys.reset_metrics();
+        for t in 0..15 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(6);
+        let s = sys.stats();
+        assert!(s.hit_ratio > 0.97, "hit ratio after rejoin {}", s.hit_ratio);
+    }
+
+    #[test]
+    fn publish_returns_none_without_subscribers() {
+        let subs = vec![TopicSet::from_iter([0u32]); 4];
+        let params = SystemParams::new(subs, 2);
+        let mut sys = VitisSystem::new(params);
+        sys.run_rounds(2);
+        assert!(sys.publish(TopicId(1)).is_none(), "topic 1 has no subscribers");
+        assert!(sys.publish(TopicId(0)).is_some());
+    }
+
+    #[test]
+    fn topic_clusters_cover_subscribers() {
+        let mut sys = random_system(100, 10, 3, 13);
+        sys.run_rounds(25);
+        let total: usize = sys.topic_clusters(TopicId(0)).iter().map(|c| c.len()).sum();
+        let alive_subs = sys
+            .workload()
+            .subscribers(TopicId(0))
+            .iter()
+            .filter(|&&s| sys.engine().is_alive(NodeIdx(s)))
+            .count();
+        assert_eq!(total, alive_subs);
+    }
+
+    #[test]
+    fn gateway_ablation_still_delivers() {
+        let mut rng = stream_rng(31, domain::WORKLOAD, 1);
+        let subscriptions: Vec<TopicSet> = (0..100)
+            .map(|_| TopicSet::from_iter((0..4).map(|_| rng.gen_range(0..10u32))))
+            .collect();
+        let mut params = SystemParams::new(subscriptions, 10);
+        params.seed = 31;
+        params.cfg.gateway_election = false;
+        let mut sys = VitisSystem::new(params);
+        sys.run_rounds(25);
+        sys.reset_metrics();
+        for t in 0..10 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(5);
+        let s = sys.stats();
+        assert!(s.hit_ratio > 0.97, "hit {}", s.hit_ratio);
+    }
+}

@@ -1,0 +1,279 @@
+//! Topics, subscription sets and publication-rate tables.
+
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+use vitis_overlay::id::Id;
+
+/// A topic identifier, dense from zero within a run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// The topic's rendezvous identifier `hash(t)` on the ring.
+    #[inline]
+    pub fn ring_id(self) -> Id {
+        Id::of_topic(self.0)
+    }
+}
+
+impl std::fmt::Display for TopicId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A node's subscription set: sorted, de-duplicated topic ids.
+///
+/// Kept sorted so that membership is a binary search and set operations are
+/// linear merges — these run in the innermost loop of friend selection.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopicSet {
+    topics: Vec<u32>,
+}
+
+impl TopicSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        TopicSet { topics: Vec::new() }
+    }
+
+    /// Build from arbitrary ids (sorts and de-duplicates).
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator
+    pub fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut topics: Vec<u32> = iter.into_iter().collect();
+        topics.sort_unstable();
+        topics.dedup();
+        TopicSet { topics }
+    }
+
+    /// Number of subscriptions.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, t: TopicId) -> bool {
+        self.topics.binary_search(&t.0).is_ok()
+    }
+
+    /// Add a topic (subscribe). Returns false if already present.
+    pub fn insert(&mut self, t: TopicId) -> bool {
+        match self.topics.binary_search(&t.0) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.topics.insert(pos, t.0);
+                true
+            }
+        }
+    }
+
+    /// Remove a topic (unsubscribe). Returns false if absent.
+    pub fn remove(&mut self, t: TopicId) -> bool {
+        match self.topics.binary_search(&t.0) {
+            Ok(pos) => {
+                self.topics.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterate the topics in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = TopicId> + '_ {
+        self.topics.iter().map(|&t| TopicId(t))
+    }
+
+    /// Size of the intersection with `other` (linear merge).
+    pub fn intersection_len(&self, other: &TopicSet) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut n = 0;
+        while i < self.topics.len() && j < other.topics.len() {
+            match self.topics[i].cmp(&other.topics[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Rate-weighted intersection and union masses against `other`:
+    /// `(Σ_{t ∈ A∩B} rate(t), Σ_{t ∈ A∪B} rate(t))` in one merge pass.
+    pub fn weighted_overlap(&self, other: &TopicSet, rates: &RateTable) -> (f64, f64) {
+        let mut i = 0;
+        let mut j = 0;
+        let mut inter = 0.0;
+        let mut union = 0.0;
+        while i < self.topics.len() && j < other.topics.len() {
+            match self.topics[i].cmp(&other.topics[j]) {
+                std::cmp::Ordering::Less => {
+                    union += rates.rate(TopicId(self.topics[i]));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    union += rates.rate(TopicId(other.topics[j]));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let r = rates.rate(TopicId(self.topics[i]));
+                    inter += r;
+                    union += r;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &t in &self.topics[i..] {
+            union += rates.rate(TopicId(t));
+        }
+        for &t in &other.topics[j..] {
+            union += rates.rate(TopicId(t));
+        }
+        (inter, union)
+    }
+}
+
+impl FromIterator<u32> for TopicSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        TopicSet::from_iter(iter)
+    }
+}
+
+/// Shared, immutable subscription set as carried in gossip descriptors.
+pub type Subs = Rc<TopicSet>;
+
+/// Per-topic publication rates, the `rate(t)` of Equation 1. The paper's
+/// default is uniform; the α-sweep experiment installs a Zipf profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateTable {
+    rates: Vec<f64>,
+}
+
+impl RateTable {
+    /// Uniform rate 1.0 for `num_topics` topics.
+    pub fn uniform(num_topics: usize) -> Self {
+        RateTable {
+            rates: vec![1.0; num_topics],
+        }
+    }
+
+    /// Explicit per-topic rates.
+    ///
+    /// # Panics
+    /// Panics if any rate is negative or non-finite.
+    pub fn from_rates(rates: Vec<f64>) -> Self {
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be finite and non-negative"
+        );
+        RateTable { rates }
+    }
+
+    /// Number of topics covered.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// The rate of a topic (0 for unknown topics, which makes them
+    /// "practically ignored in the preference function", as the paper puts
+    /// it for rate-zero topics).
+    #[inline]
+    pub fn rate(&self, t: TopicId) -> f64 {
+        self.rates.get(t.0 as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Total rate mass (used to normalize publish schedules).
+    pub fn total(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[u32]) -> TopicSet {
+        TopicSet::from_iter(v.iter().copied())
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s = ts(&[5, 1, 5, 3]);
+        assert_eq!(s.len(), 3);
+        let got: Vec<u32> = s.iter().map(|t| t.0).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ts(&[2, 4]);
+        assert!(s.contains(TopicId(2)));
+        assert!(!s.contains(TopicId(3)));
+        assert!(s.insert(TopicId(3)));
+        assert!(!s.insert(TopicId(3)));
+        assert!(s.contains(TopicId(3)));
+        assert!(s.remove(TopicId(2)));
+        assert!(!s.remove(TopicId(2)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn intersection_len_merges() {
+        assert_eq!(ts(&[1, 2, 3]).intersection_len(&ts(&[2, 3, 4])), 2);
+        assert_eq!(ts(&[]).intersection_len(&ts(&[1])), 0);
+        assert_eq!(ts(&[7]).intersection_len(&ts(&[7])), 1);
+    }
+
+    #[test]
+    fn weighted_overlap_uniform_matches_counts() {
+        let rates = RateTable::uniform(10);
+        let (i, u) = ts(&[1, 2, 3]).weighted_overlap(&ts(&[3, 4]), &rates);
+        assert!((i - 1.0).abs() < 1e-12);
+        assert!((u - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_overlap_respects_rates() {
+        let rates = RateTable::from_rates(vec![0.0, 10.0, 1.0]);
+        // A = {0,1}, B = {1,2}: inter = rate(1) = 10, union = 0+10+1 = 11.
+        let (i, u) = ts(&[0, 1]).weighted_overlap(&ts(&[1, 2]), &rates);
+        assert!((i - 10.0).abs() < 1e-12);
+        assert!((u - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_of_unknown_topic_is_zero() {
+        let rates = RateTable::uniform(2);
+        assert_eq!(rates.rate(TopicId(5)), 0.0);
+        assert_eq!(rates.rate(TopicId(1)), 1.0);
+        assert!((rates.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rates_rejected() {
+        RateTable::from_rates(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn ring_ids_are_stable_and_distinct() {
+        assert_eq!(TopicId(3).ring_id(), TopicId(3).ring_id());
+        assert_ne!(TopicId(3).ring_id(), TopicId(4).ring_id());
+    }
+}

@@ -1,0 +1,103 @@
+//! The preference (utility) function of Equation 1.
+//!
+//! ```text
+//!               Σ_{t ∈ subs(i) ∩ subs(j)} rate(t)
+//! utility(i,j) = ---------------------------------
+//!               Σ_{t ∈ subs(i) ∪ subs(j)} rate(t)
+//! ```
+//!
+//! With uniform rates this is the Jaccard similarity of the subscription
+//! sets; skewed rates weight the overlap toward hot topics, which is what
+//! makes Vitis adapt its clustering to the publication workload (the α-sweep
+//! of Figure 7).
+
+use crate::topic::{RateTable, TopicSet};
+
+/// Pairwise utility of two subscription sets under a rate table. Returns
+/// zero when the union has no rate mass (disjoint or all-cold topics).
+pub fn utility(a: &TopicSet, b: &TopicSet, rates: &RateTable) -> f64 {
+    let (inter, union) = a.weighted_overlap(b, rates);
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicId;
+
+    fn ts(v: &[u32]) -> TopicSet {
+        TopicSet::from_iter(v.iter().copied())
+    }
+
+    /// The worked example from Section III-A2 of the paper: p = {A,B,C},
+    /// q = {C,D}, r = {C,D,E,F,G,H} with uniform rates gives
+    /// utility(p,q) = 0.25, utility(p,r) = 0.125, utility(q,r) = 0.33.
+    #[test]
+    fn paper_worked_example() {
+        let rates = RateTable::uniform(8);
+        let p = ts(&[0, 1, 2]); // A B C
+        let q = ts(&[2, 3]); // C D
+        let r = ts(&[2, 3, 4, 5, 6, 7]); // C D E F G H
+        assert!((utility(&p, &q, &rates) - 0.25).abs() < 1e-12);
+        assert!((utility(&p, &r, &rates) - 0.125).abs() < 1e-12);
+        assert!((utility(&q, &r, &rates) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let rates = RateTable::uniform(10);
+        let a = ts(&[1, 2, 3]);
+        let b = ts(&[3, 4]);
+        assert_eq!(utility(&a, &b, &rates), utility(&b, &a, &rates));
+    }
+
+    #[test]
+    fn identical_sets_have_utility_one() {
+        let rates = RateTable::uniform(10);
+        let a = ts(&[1, 5, 9]);
+        assert!((utility(&a, &a, &rates) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_have_utility_zero() {
+        let rates = RateTable::uniform(10);
+        assert_eq!(utility(&ts(&[1, 2]), &ts(&[3, 4]), &rates), 0.0);
+        assert_eq!(utility(&ts(&[]), &ts(&[]), &rates), 0.0);
+    }
+
+    /// "If the publication rate for topic t goes to zero … t is practically
+    /// ignored in the preference function."
+    #[test]
+    fn rate_zero_topics_are_ignored() {
+        let mut rates = vec![1.0; 6];
+        rates[5] = 0.0;
+        let rates = RateTable::from_rates(rates);
+        let a = ts(&[0, 5]);
+        let b = ts(&[0, 1]);
+        // Topic 5 contributes nothing: inter = 1, union = rate(0)+rate(1) = 2.
+        assert!((utility(&a, &b, &rates) - 0.5).abs() < 1e-12);
+        // Sharing only a rate-zero topic is worth nothing but its union mass
+        // is also zero, so other shared topics dominate.
+        let c = ts(&[5]);
+        let d = ts(&[5]);
+        assert_eq!(utility(&c, &d, &rates), 0.0);
+    }
+
+    /// "Nodes will give a high utility to one another if they are interested
+    /// in a common topic that has a high rate of events."
+    #[test]
+    fn hot_shared_topics_raise_utility() {
+        let cold = RateTable::uniform(4);
+        let mut hot_rates = vec![1.0; 4];
+        hot_rates[0] = 100.0;
+        let hot = RateTable::from_rates(hot_rates);
+        let a = ts(&[0, 1]);
+        let b = ts(&[0, 2]);
+        assert!(utility(&a, &b, &hot) > utility(&a, &b, &cold));
+        let _ = TopicId(0); // keep import used in doc context
+    }
+}

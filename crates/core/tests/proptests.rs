@@ -1,0 +1,153 @@
+//! Property-based tests for the Vitis core data structures.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use vitis::gateway::{revise_proposal, Proposal};
+use vitis::monitor::Monitor;
+use vitis::relay::RelayTable;
+use vitis::topic::{RateTable, TopicId, TopicSet};
+use vitis::utility;
+use vitis_overlay::id::Id;
+use vitis_sim::event::NodeIdx;
+use vitis_sim::time::SimTime;
+
+fn ts(v: &[u32]) -> TopicSet {
+    TopicSet::from_iter(v.iter().copied())
+}
+
+proptest! {
+    /// TopicSet behaves like a reference BTreeSet under insert/remove.
+    #[test]
+    fn topicset_matches_btreeset(ops in proptest::collection::vec((any::<bool>(), 0u32..40), 0..100)) {
+        let mut set = TopicSet::new();
+        let mut reference = BTreeSet::new();
+        for &(insert, t) in &ops {
+            if insert {
+                prop_assert_eq!(set.insert(TopicId(t)), reference.insert(t));
+            } else {
+                prop_assert_eq!(set.remove(TopicId(t)), reference.remove(&t));
+            }
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        let got: Vec<u32> = set.iter().map(|t| t.0).collect();
+        let want: Vec<u32> = reference.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Intersection size via merge equals the reference computation.
+    #[test]
+    fn intersection_matches_reference(
+        a in proptest::collection::vec(0u32..60, 0..40),
+        b in proptest::collection::vec(0u32..60, 0..40),
+    ) {
+        let sa = ts(&a);
+        let sb = ts(&b);
+        let ra: BTreeSet<u32> = a.iter().copied().collect();
+        let rb: BTreeSet<u32> = b.iter().copied().collect();
+        prop_assert_eq!(sa.intersection_len(&sb), ra.intersection(&rb).count());
+    }
+
+    /// Utility is symmetric, in [0, 1], and 1 only for identical non-empty
+    /// rate-positive sets.
+    #[test]
+    fn utility_bounds_and_symmetry(
+        a in proptest::collection::vec(0u32..30, 0..20),
+        b in proptest::collection::vec(0u32..30, 0..20),
+        rates in proptest::collection::vec(0.0f64..10.0, 30),
+    ) {
+        let sa = ts(&a);
+        let sb = ts(&b);
+        let rt = RateTable::from_rates(rates);
+        let u = utility(&sa, &sb, &rt);
+        prop_assert!((0.0..=1.0).contains(&u));
+        prop_assert_eq!(u, utility(&sb, &sa, &rt));
+        // Weighted overlap masses are consistent: inter <= union.
+        let (i, un) = sa.weighted_overlap(&sb, &rt);
+        prop_assert!(i <= un + 1e-12);
+    }
+
+    /// Monitor hit ratio is always in [0, 1] and deliveries never exceed
+    /// expectations.
+    #[test]
+    fn monitor_bounds(
+        expected in proptest::collection::vec(0u32..30, 0..20),
+        deliveries in proptest::collection::vec((0u32..40, 1u32..20), 0..60),
+    ) {
+        let m = Monitor::new();
+        let exp: Vec<NodeIdx> = expected.iter().map(|&i| NodeIdx(i)).collect();
+        let e = m.register_event(TopicId(0), SimTime(0), exp);
+        for &(node, hops) in &deliveries {
+            m.record_delivery(e, NodeIdx(node), hops, SimTime(5));
+        }
+        let s = m.snapshot();
+        prop_assert!(s.delivered <= s.expected);
+        prop_assert!((0.0..=1.0).contains(&s.hit_ratio));
+        if s.delivered > 0 {
+            prop_assert!(s.mean_hops >= 1.0);
+            prop_assert!(s.mean_hops <= s.max_hops as f64);
+        }
+    }
+
+    /// Relay fanout never returns the sender and never duplicates targets.
+    #[test]
+    fn relay_fanout_excludes_sender(
+        downs in proptest::collection::vec(0u32..10, 0..10),
+        upstream in proptest::option::of(0u32..10),
+        from in proptest::option::of(0u32..10),
+    ) {
+        let mut rt = RelayTable::new();
+        let t = TopicId(1);
+        for &d in &downs {
+            rt.add_downstream(t, NodeIdx(d));
+        }
+        if let Some(u) = upstream {
+            rt.set_upstream(t, NodeIdx(u));
+        }
+        let from_idx = from.map(NodeIdx);
+        let fan = rt.fanout(t, from_idx);
+        if let Some(f) = from_idx {
+            prop_assert!(!fan.contains(&f));
+        }
+        let mut dedup = fan.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), fan.len());
+    }
+
+    /// Gateway revision always returns either the self-proposal or one of
+    /// the offered ones, with hops within the radius.
+    #[test]
+    fn revise_proposal_stays_in_offered_set(
+        self_id: u64,
+        d_max in 1u32..10,
+        offers in proptest::collection::vec((1u32..20, any::<u64>(), 0u32..12), 0..10),
+    ) {
+        let me = NodeIdx(0);
+        let topic = TopicId(3);
+        // One proposal per distinct neighbor, and a gateway's id is a
+        // function of its address — both hold in the real protocol (a
+        // neighbor advertises a single proposal; ids are hashes of
+        // addresses).
+        let proposals: Vec<(NodeIdx, Proposal)> = offers.iter().enumerate()
+            .map(|(i, &(nbr, gw_id, hops))| {
+                let _ = nbr;
+                (NodeIdx(i as u32 + 1), Proposal {
+                    gw_id: Id(gw_id),
+                    gw_addr: NodeIdx(vitis_sim::rng::mix64(gw_id) as u32),
+                    parent: NodeIdx(i as u32 + 1),
+                    hops,
+                })
+            }).collect();
+        let refs: Vec<(NodeIdx, &Proposal)> = proposals.iter().map(|(n, p)| (*n, p)).collect();
+        let out = revise_proposal(me, Id(self_id), topic, d_max, refs, |_| false);
+        if out.gw_addr == me {
+            prop_assert_eq!(out.hops, 0);
+        } else {
+            prop_assert!(out.hops <= d_max);
+            prop_assert!(proposals.iter().any(|(_, p)| p.gw_addr == out.gw_addr));
+            // Adopted proposals are never ring-farther than self.
+            let target = topic.ring_id();
+            prop_assert!(target.ring_distance(out.gw_id) <= target.ring_distance(Id(self_id)));
+        }
+    }
+}

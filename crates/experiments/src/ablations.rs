@@ -1,0 +1,158 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! * **A1 — gateway election** (Algorithm 5): with election off, every
+//!   subscriber builds its own relay path (Scribe-style inside Vitis);
+//!   relay traffic should rise substantially.
+//! * **A2 — Equation 1 friend selection**: with utility ranking off,
+//!   friends are random peers; clustering collapses and relay traffic
+//!   rises toward RVR levels.
+//! * **A3 — small-world link count**: Symphony's routing cost is
+//!   `O(log²N / k)`; more sw links cut lookup (and thus inter-cluster)
+//!   delay at the price of fewer friend slots.
+
+use crate::report::{Figure, Series};
+use crate::runner::{measure, synthetic_params, with_cfg, PublishPlan};
+use crate::scale::Scale;
+use rayon::prelude::*;
+use vitis::system::VitisSystem;
+use vitis_workloads::Correlation;
+
+/// Measure overhead/delay with a config toggle applied.
+fn toggled_run(
+    scale: &Scale,
+    corr: Correlation,
+    f: impl FnOnce(&mut vitis::config::VitisConfig),
+) -> (f64, f64, f64) {
+    let params = with_cfg(synthetic_params(scale, corr), f);
+    let mut sys = VitisSystem::new(params);
+    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    (s.overhead_pct, s.mean_hops, s.hit_ratio)
+}
+
+/// A1: gateway election on/off, high-correlation subscriptions.
+pub fn gateway_election(scale: &Scale) -> Figure {
+    let results: Vec<(bool, (f64, f64, f64))> = [true, false]
+        .par_iter()
+        .map(|&on| {
+            (
+                on,
+                toggled_run(scale, Correlation::High, |c| c.gateway_election = on),
+            )
+        })
+        .collect();
+    let mut fig = Figure::new(
+        "Ablation A1: gateway election (Algorithm 5)",
+        "election enabled (0/1)",
+        "overhead %",
+    );
+    let pts: Vec<(f64, f64)> = results
+        .iter()
+        .map(|&(on, (o, _, _))| (on as u64 as f64, o))
+        .collect();
+    fig.push_series(Series::new("Vitis - high correlation", pts));
+    for &(on, (o, d, h)) in &results {
+        fig.note(format!(
+            "election={on}: overhead {o:.1}% delay {d:.2} hops hit {h:.3}"
+        ));
+    }
+    fig.note("expectation: per-subscriber relay paths (election off) raise relay traffic");
+    fig
+}
+
+/// A2: Equation 1 utility ranking vs random friends.
+pub fn utility_selection(scale: &Scale) -> Figure {
+    let results: Vec<(bool, (f64, f64, f64))> = [true, false]
+        .par_iter()
+        .map(|&on| {
+            (
+                on,
+                toggled_run(scale, Correlation::High, |c| c.utility_selection = on),
+            )
+        })
+        .collect();
+    let mut fig = Figure::new(
+        "Ablation A2: Equation 1 friend selection vs random friends",
+        "utility ranking enabled (0/1)",
+        "overhead %",
+    );
+    let pts: Vec<(f64, f64)> = results
+        .iter()
+        .map(|&(on, (o, _, _))| (on as u64 as f64, o))
+        .collect();
+    fig.push_series(Series::new("Vitis - high correlation", pts));
+    for &(on, (o, d, h)) in &results {
+        fig.note(format!(
+            "utility={on}: overhead {o:.1}% delay {d:.2} hops hit {h:.3}"
+        ));
+    }
+    fig.note("expectation: random friends destroy clustering; overhead rises sharply");
+    fig
+}
+
+/// A3: small-world link count k (table size fixed at 15).
+pub fn sw_links(scale: &Scale) -> Figure {
+    let ks = [1usize, 2, 4, 8];
+    let results: Vec<(usize, (f64, f64, f64))> = ks
+        .par_iter()
+        .map(|&k| {
+            (
+                k,
+                toggled_run(scale, Correlation::Random, |c| c.k_sw = k),
+            )
+        })
+        .collect();
+    let mut fig = Figure::new(
+        "Ablation A3: small-world links vs propagation delay (random subs)",
+        "sw links k",
+        "hops",
+    );
+    let mut delay_pts: Vec<(f64, f64)> = results
+        .iter()
+        .map(|&(k, (_, d, _))| (k as f64, d))
+        .collect();
+    delay_pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    fig.push_series(Series::new("Vitis delay", delay_pts));
+    let mut over_pts: Vec<(f64, f64)> = results
+        .iter()
+        .map(|&(k, (o, _, _))| (k as f64, o))
+        .collect();
+    over_pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    fig.push_series(Series::new("Vitis overhead %", over_pts));
+    fig.note("expectation: delay falls with k (O(log^2 N / k) routing); overhead rises (fewer friends)");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> Scale {
+        let mut sc = Scale::quick();
+        sc.warmup_rounds = 45;
+        sc.events = 120;
+        sc
+    }
+
+    #[test]
+    fn gateway_election_cuts_overhead() {
+        let sc = sc();
+        let (on, _, hit_on) = toggled_run(&sc, Correlation::High, |c| c.gateway_election = true);
+        let (off, _, _) = toggled_run(&sc, Correlation::High, |c| c.gateway_election = false);
+        assert!(hit_on > 0.9);
+        assert!(
+            on <= off + 1.0,
+            "election on {on}% should not exceed off {off}%"
+        );
+    }
+
+    #[test]
+    fn utility_selection_is_what_creates_clusters() {
+        let sc = sc();
+        let (on, _, _) = toggled_run(&sc, Correlation::High, |c| c.utility_selection = true);
+        let (off, _, _) = toggled_run(&sc, Correlation::High, |c| c.utility_selection = false);
+        assert!(
+            on < off,
+            "utility ranking must cut overhead: on {on}% vs off {off}%"
+        );
+    }
+}

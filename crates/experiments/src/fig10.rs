@@ -1,0 +1,172 @@
+//! Figure 10: the three systems on Twitter subscriptions, routing-table
+//! size 15–35.
+//!
+//! Every user is both subscriber and topic (topics = nodes), subscriptions
+//! are the followee lists of the BFS sample. The paper's findings: Vitis
+//! and RVR hold 100 % hit ratio at every degree while bounded OPT tops out
+//! around 80 %; Vitis's overhead is ~30–40 % below RVR's; Vitis is ~1.5×
+//! faster than RVR and ~1.7× faster than OPT.
+
+use crate::fig8_9::sampled_trace;
+use crate::report::{Figure, Series};
+use crate::runner::{measure, params_from_subs, with_cfg, PublishPlan};
+use crate::scale::Scale;
+use rayon::prelude::*;
+use vitis::system::{SystemParams, VitisSystem};
+use vitis::topic::TopicSet;
+use vitis_baselines::{OptSystem, RvrSystem};
+
+/// Routing-table sizes swept.
+pub const RT_SIZES: [usize; 5] = [15, 20, 25, 30, 35];
+
+/// Which system a sweep point measures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemKind {
+    /// Vitis with `rt_size` links.
+    Vitis,
+    /// RVR with `rt_size` links.
+    Rvr,
+    /// OPT bounded to `rt_size` links.
+    Opt,
+}
+
+impl SystemKind {
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Vitis => "Vitis",
+            SystemKind::Rvr => "RVR",
+            SystemKind::Opt => "OPT",
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Routing-table size / degree bound.
+    pub rt_size: usize,
+    /// Hit ratio.
+    pub hit_ratio: f64,
+    /// Traffic overhead in percent.
+    pub overhead: f64,
+    /// Mean propagation delay in hops.
+    pub delay: f64,
+}
+
+/// Subscription sets of the Twitter sample (topics = node indices).
+pub fn twitter_params(scale: &Scale) -> SystemParams {
+    let trace = sampled_trace(scale);
+    let n = trace.len();
+    let subs: Vec<TopicSet> = trace
+        .follows
+        .iter()
+        .map(|f| TopicSet::from_iter(f.iter().copied()))
+        .collect();
+    params_from_subs(scale, subs, n)
+}
+
+/// Measure one system at one table size on the Twitter subscriptions.
+pub fn point(scale: &Scale, kind: SystemKind, rt_size: usize) -> Point {
+    let params = with_cfg(twitter_params(scale), |c| {
+        c.rt_size = rt_size;
+        c.k_sw = 1;
+    });
+    let mut scale = *scale;
+    // Topics = nodes here, so cap the event batch at the population.
+    scale.topics = params.num_topics;
+    scale.events = scale.events.min(params.num_topics);
+    let stats = match kind {
+        SystemKind::Vitis => {
+            let mut sys = VitisSystem::new(params);
+            measure(&mut sys, &scale, PublishPlan::RoundRobin)
+        }
+        SystemKind::Rvr => {
+            let mut sys = RvrSystem::new(params);
+            measure(&mut sys, &scale, PublishPlan::RoundRobin)
+        }
+        SystemKind::Opt => {
+            let mut sys = OptSystem::new(params);
+            measure(&mut sys, &scale, PublishPlan::RoundRobin)
+        }
+    };
+    Point {
+        rt_size,
+        hit_ratio: stats.hit_ratio,
+        overhead: stats.overhead_pct,
+        delay: stats.mean_hops,
+    }
+}
+
+/// Run the sweep; returns `(hit ratio, overhead, delay)` figures.
+pub fn run(scale: &Scale) -> (Figure, Figure, Figure) {
+    let kinds = [SystemKind::Vitis, SystemKind::Rvr, SystemKind::Opt];
+    let mut jobs = Vec::new();
+    for k in kinds {
+        for rt in RT_SIZES {
+            jobs.push((k, rt));
+        }
+    }
+    let results: Vec<(SystemKind, Point)> = jobs
+        .par_iter()
+        .map(|&(k, rt)| (k, point(scale, k, rt)))
+        .collect();
+
+    let mut hit = Figure::new(
+        "Figure 10(a): hit ratio vs routing table size (Twitter)",
+        "routing table size",
+        "hit ratio %",
+    );
+    let mut overhead = Figure::new(
+        "Figure 10(b): traffic overhead vs routing table size (Twitter)",
+        "routing table size",
+        "overhead %",
+    );
+    let mut delay = Figure::new(
+        "Figure 10(c): propagation delay vs routing table size (Twitter)",
+        "routing table size",
+        "hops",
+    );
+    for k in kinds {
+        let pts: Vec<&Point> = results
+            .iter()
+            .filter(|(kk, _)| *kk == k)
+            .map(|(_, p)| p)
+            .collect();
+        hit.push_series(series_of(k.label(), &pts, |p| 100.0 * p.hit_ratio));
+        overhead.push_series(series_of(k.label(), &pts, |p| p.overhead));
+        delay.push_series(series_of(k.label(), &pts, |p| p.delay));
+    }
+    hit.note("paper: Vitis and RVR at 100%; OPT ~80% even at degree 35");
+    overhead.note("paper: OPT ~0; Vitis 30-40% below RVR");
+    delay.note("paper: Vitis ~1.5x faster than RVR, ~1.7x faster than OPT");
+    (hit, overhead, delay)
+}
+
+fn series_of(label: &str, pts: &[&Point], y: impl Fn(&Point) -> f64) -> Series {
+    let mut v: Vec<(f64, f64)> = pts.iter().map(|p| (p.rt_size as f64, y(p))).collect();
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+    Series::new(label, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ordering that defines Figure 10: Vitis ≥ OPT on hit ratio,
+    /// OPT ≈ 0 overhead, Vitis below RVR on overhead.
+    #[test]
+    fn twitter_ordering_holds_at_smoke_scale() {
+        let mut sc = Scale::quick();
+        sc.warmup_rounds = 50;
+        sc.events = 150;
+        let v = point(&sc, SystemKind::Vitis, 15);
+        let r = point(&sc, SystemKind::Rvr, 15);
+        let o = point(&sc, SystemKind::Opt, 15);
+        assert!(v.hit_ratio > 0.9, "vitis hit {}", v.hit_ratio);
+        assert!(r.hit_ratio > 0.9, "rvr hit {}", r.hit_ratio);
+        assert!(o.hit_ratio < v.hit_ratio, "opt {} vs vitis {}", o.hit_ratio, v.hit_ratio);
+        assert!(o.overhead < 1.0, "opt overhead {}", o.overhead);
+        assert!(v.overhead < r.overhead, "vitis {} vs rvr {}", v.overhead, r.overhead);
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 5: distribution of per-node traffic overhead.
+//!
+//! The paper's answer to "doesn't Vitis just concentrate load on gateways
+//! and rendezvous nodes?" — the per-node overhead histogram shows Vitis
+//! increasing the fraction of nodes in the lowest bucket while cutting the
+//! fraction above 20 % overhead to less than a third of RVR's.
+
+use crate::report::{Figure, Series};
+use crate::runner::{measure, synthetic_params, PublishPlan};
+use crate::scale::Scale;
+use rayon::prelude::*;
+use vitis::system::{PubSub, VitisSystem};
+use vitis_baselines::RvrSystem;
+use vitis_sim::metrics::Histogram;
+use vitis_workloads::Correlation;
+
+/// Histogram bins over overhead percent.
+pub const BINS: usize = 10;
+
+/// Collect the per-node overhead distribution of one system run.
+fn distribution(per_node: &[f64]) -> Vec<(f64, f64)> {
+    let mut h = Histogram::new(BINS, 100.0);
+    for &pct in per_node {
+        h.record(pct);
+    }
+    // Merge the overflow bin (exactly 100 %) into the last regular bin.
+    let mut points: Vec<(f64, f64)> = (0..BINS).map(|i| (h.bin_lower(i), h.fraction(i))).collect();
+    if let Some(last) = points.last_mut() {
+        last.1 += h.fraction(BINS);
+    }
+    points
+}
+
+/// Fraction of nodes whose overhead exceeds `threshold` percent.
+pub fn fraction_above(per_node: &[f64], threshold: f64) -> f64 {
+    if per_node.is_empty() {
+        return 0.0;
+    }
+    per_node.iter().filter(|&&x| x > threshold).count() as f64 / per_node.len() as f64
+}
+
+/// Run the experiment: Vitis and RVR on correlated and random
+/// subscriptions, per-node distribution over nodes with ≥ `min_msgs`
+/// data-plane messages.
+pub fn run(scale: &Scale) -> Figure {
+    let jobs: Vec<(&str, bool, Correlation)> = vec![
+        ("Vitis - correlated", true, Correlation::High),
+        ("Vitis - random", true, Correlation::Random),
+        ("RVR - correlated", false, Correlation::High),
+        ("RVR - random", false, Correlation::Random),
+    ];
+    let results: Vec<(String, Vec<f64>)> = jobs
+        .par_iter()
+        .map(|&(label, vitis, corr)| (label.to_string(), per_node_overhead(scale, vitis, corr)))
+        .collect();
+
+    let mut fig = Figure::new(
+        "Figure 5: distribution of per-node traffic overhead",
+        "overhead bin lower edge (%)",
+        "fraction of nodes",
+    );
+    for (label, per_node) in &results {
+        fig.push_series(Series::new(label.clone(), distribution(per_node)));
+    }
+    for (label, per_node) in &results {
+        fig.note(format!(
+            "{label}: {:.1}% of nodes above 20% overhead",
+            100.0 * fraction_above(per_node, 20.0)
+        ));
+    }
+    fig.note(
+        "paper: Vitis grows the <=10% bucket and cuts nodes above 20% overhead to \
+         less than a third of RVR's",
+    );
+    fig
+}
+
+/// Per-node overhead percentages for one system/pattern.
+pub fn per_node_overhead(scale: &Scale, vitis: bool, corr: Correlation) -> Vec<f64> {
+    let params = synthetic_params(scale, corr);
+    if vitis {
+        let mut sys = VitisSystem::new(params);
+        measure(&mut sys, scale, PublishPlan::RoundRobin);
+        sys.per_node_overhead(1)
+    } else {
+        let mut sys = RvrSystem::new(params);
+        measure(&mut sys, scale, PublishPlan::RoundRobin);
+        sys.per_node_overhead(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_normalized() {
+        let d = distribution(&[0.0, 5.0, 15.0, 99.9, 100.0]);
+        let total: f64 = d.iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(d.len(), BINS);
+        assert_eq!(d[0].0, 0.0);
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly() {
+        assert_eq!(fraction_above(&[10.0, 20.0, 30.0, 40.0], 20.0), 0.5);
+        assert_eq!(fraction_above(&[], 20.0), 0.0);
+    }
+
+    /// At smoke scale: fewer Vitis nodes carry heavy relay load than RVR
+    /// nodes on correlated subscriptions.
+    #[test]
+    fn vitis_has_fewer_overloaded_nodes() {
+        let mut sc = Scale::quick();
+        sc.warmup_rounds = 45;
+        sc.events = 120;
+        let v = per_node_overhead(&sc, true, Correlation::High);
+        let r = per_node_overhead(&sc, false, Correlation::High);
+        let fv = fraction_above(&v, 20.0);
+        let fr = fraction_above(&r, 20.0);
+        assert!(fv < fr, "vitis {fv} vs rvr {fr} above 20% overhead");
+    }
+}

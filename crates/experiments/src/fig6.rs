@@ -1,0 +1,160 @@
+//! Figure 6: routing-table size sweep (15–35).
+//!
+//! Larger tables help both systems but for different reasons: RVR gets more
+//! small-world links (shorter rendezvous routes, leaner trees); Vitis keeps
+//! its sw-link count fixed and turns every extra slot into a friend link
+//! (better clustering, fewer relay paths). The paper notes Vitis's delay
+//! with random subscriptions overtaking RVR's beyond ~30 entries.
+
+use crate::report::{Figure, Series};
+use crate::runner::{measure, synthetic_params, with_cfg, PublishPlan};
+use crate::scale::Scale;
+use rayon::prelude::*;
+use vitis::system::VitisSystem;
+use vitis_baselines::RvrSystem;
+use vitis_workloads::Correlation;
+
+/// Routing-table sizes swept.
+pub const RT_SIZES: [usize; 5] = [15, 20, 25, 30, 35];
+
+/// One measured sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Routing-table size.
+    pub rt_size: usize,
+    /// Traffic overhead in percent.
+    pub overhead: f64,
+    /// Mean propagation delay in hops.
+    pub delay: f64,
+    /// Hit ratio.
+    pub hit_ratio: f64,
+}
+
+/// Measure Vitis at a given table size (k_sw stays 1; extra slots become
+/// friends).
+pub fn vitis_point(scale: &Scale, corr: Correlation, rt_size: usize) -> Point {
+    let params = with_cfg(synthetic_params(scale, corr), |c| {
+        c.rt_size = rt_size;
+        c.k_sw = 1;
+    });
+    let mut sys = VitisSystem::new(params);
+    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    Point {
+        rt_size,
+        overhead: s.overhead_pct,
+        delay: s.mean_hops,
+        hit_ratio: s.hit_ratio,
+    }
+}
+
+/// Measure RVR at a given table size (all extra slots are sw links).
+pub fn rvr_point(scale: &Scale, rt_size: usize) -> Point {
+    let params = with_cfg(synthetic_params(scale, Correlation::Random), |c| {
+        c.rt_size = rt_size;
+    });
+    let mut sys = RvrSystem::new(params);
+    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    Point {
+        rt_size,
+        overhead: s.overhead_pct,
+        delay: s.mean_hops,
+        hit_ratio: s.hit_ratio,
+    }
+}
+
+/// Run the sweep; returns `(overhead figure, delay figure)`.
+pub fn run(scale: &Scale) -> (Figure, Figure) {
+    let corrs = [Correlation::High, Correlation::Low, Correlation::Random];
+    let mut jobs: Vec<(Option<Correlation>, usize)> = Vec::new();
+    for corr in corrs {
+        for rt in RT_SIZES {
+            jobs.push((Some(corr), rt));
+        }
+    }
+    for rt in RT_SIZES {
+        jobs.push((None, rt));
+    }
+    let results: Vec<(Option<Correlation>, Point)> = jobs
+        .par_iter()
+        .map(|&(corr, rt)| {
+            let p = match corr {
+                Some(c) => vitis_point(scale, c, rt),
+                None => rvr_point(scale, rt),
+            };
+            (corr, p)
+        })
+        .collect();
+
+    let mut overhead = Figure::new(
+        "Figure 6(a): traffic overhead vs routing table size",
+        "routing table size",
+        "overhead %",
+    );
+    let mut delay = Figure::new(
+        "Figure 6(b): propagation delay vs routing table size",
+        "routing table size",
+        "hops",
+    );
+    for corr in corrs {
+        let label = format!("Vitis - {}", corr.label());
+        let pts: Vec<&Point> = results
+            .iter()
+            .filter(|(c, _)| *c == Some(corr))
+            .map(|(_, p)| p)
+            .collect();
+        overhead.push_series(series_of(&label, &pts, |p| p.overhead));
+        delay.push_series(series_of(&label, &pts, |p| p.delay));
+    }
+    let rvr_pts: Vec<&Point> = results
+        .iter()
+        .filter(|(c, _)| c.is_none())
+        .map(|(_, p)| p)
+        .collect();
+    overhead.push_series(series_of("RVR", &rvr_pts, |p| p.overhead));
+    delay.push_series(series_of("RVR", &rvr_pts, |p| p.delay));
+    overhead.note("paper: both systems improve with bigger tables; Vitis stays well below RVR");
+    delay.note("paper: Vitis (random subs) overtakes RVR beyond ~30 entries");
+    (overhead, delay)
+}
+
+fn series_of(label: &str, pts: &[&Point], y: impl Fn(&Point) -> f64) -> Series {
+    let mut v: Vec<(f64, f64)> = pts.iter().map(|p| (p.rt_size as f64, y(p))).collect();
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+    Series::new(label, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_tables_reduce_vitis_overhead() {
+        let mut sc = Scale::quick();
+        sc.warmup_rounds = 45;
+        sc.events = 120;
+        let small = vitis_point(&sc, Correlation::Low, 15);
+        let big = vitis_point(&sc, Correlation::Low, 35);
+        assert!(
+            big.overhead <= small.overhead + 2.0,
+            "rt 35 {} should not exceed rt 15 {}",
+            big.overhead,
+            small.overhead
+        );
+        assert!(big.hit_ratio > 0.9);
+    }
+
+    #[test]
+    fn rvr_delay_improves_with_more_sw_links() {
+        let mut sc = Scale::quick();
+        sc.warmup_rounds = 45;
+        sc.events = 120;
+        let small = rvr_point(&sc, 15);
+        let big = rvr_point(&sc, 35);
+        assert!(
+            big.delay < small.delay + 0.5,
+            "more sw links should not slow RVR: {} vs {}",
+            big.delay,
+            small.delay
+        );
+    }
+}

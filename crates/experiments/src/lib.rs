@@ -1,0 +1,43 @@
+//! # vitis-experiments
+//!
+//! The experiment harness that regenerates every figure of the Vitis paper
+//! (IPDPS 2011, Section IV), plus the ablation studies from DESIGN.md:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig4`] | Fig. 4(a,b) — friends vs sw-neighbors |
+//! | [`fig5`] | Fig. 5 — per-node overhead distribution |
+//! | [`fig6`] | Fig. 6(a,b) — routing-table size sweep |
+//! | [`fig7`] | Fig. 7(a,b) — publication-rate skew sweep |
+//! | [`fig8_9`] | Fig. 8 & 9 — Twitter trace analysis |
+//! | [`fig10`] | Fig. 10(a,b,c) — three systems on Twitter subscriptions |
+//! | [`fig11`] | Fig. 11 — unbounded OPT degree distribution |
+//! | [`fig12`] | Fig. 12(a,b,c) — churn (Skype-like trace) |
+//! | [`ablations`] | A1 gateway election, A2 utility ranking, A3 sw links |
+//! | [`clusters`] | supplementary cluster-structure diagnostic (Figs. 1–2) |
+//!
+//! Sweep points are embarrassingly parallel; each builds its own
+//! single-threaded simulation, and Rayon fans the points out across cores.
+//!
+//! Run from the CLI: `cargo run -p vitis-experiments --release -- all
+//! --nodes 2000` (use `--paper` for the full 10 000-node setting).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod clusters;
+pub mod fig10;
+pub mod headline;
+pub mod fig11;
+pub mod fig12;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8_9;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use report::{Figure, Series};
+pub use scale::Scale;

@@ -1,0 +1,126 @@
+//! CLI entry point: regenerate the paper's figures.
+//!
+//! ```text
+//! vitis-experiments [FIGURES] [--nodes N] [--seed S] [--paper | --quick]
+//!
+//! FIGURES: any of fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!          ablations, or "all" (default)
+//! ```
+
+use std::process::ExitCode;
+use vitis_experiments::{ablations, clusters, headline, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8_9, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<String> = Vec::new();
+    let mut nodes: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut replicas: usize = 5;
+    let mut preset: Option<&str> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => nodes = Some(n),
+                None => return usage("--nodes needs an integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--replicas" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => replicas = r,
+                None => return usage("--replicas needs an integer"),
+            },
+            "--paper" => preset = Some("paper"),
+            "--quick" => preset = Some("quick"),
+            "--help" | "-h" => return usage(""),
+            f if f.starts_with("fig") || f == "all" || f == "ablations" || f == "clusters" || f == "headline" => {
+                figures.push(f.to_string())
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+
+    let mut scale = match preset {
+        Some("paper") => Scale::paper(),
+        Some("quick") => Scale::quick(),
+        _ => Scale::default_run(),
+    };
+    if let Some(n) = nodes {
+        scale = Scale::proportional(n, seed);
+    }
+    scale.seed = seed;
+
+    println!(
+        "# Vitis reproduction — scale: {} nodes, {} topics, {} subs/node, seed {}\n",
+        scale.nodes, scale.topics, scale.subs_per_node, scale.seed
+    );
+
+    let want = |name: &str| figures.iter().any(|f| f == name || f == "all");
+
+    if want("fig4") {
+        let (a, b) = fig4::run(&scale);
+        print!("{}\n{}\n", a.render(), b.render());
+    }
+    if want("fig5") {
+        println!("{}", fig5::run(&scale).render());
+    }
+    if want("fig6") {
+        let (a, b) = fig6::run(&scale);
+        print!("{}\n{}\n", a.render(), b.render());
+    }
+    if want("fig7") {
+        let (a, b) = fig7::run(&scale);
+        print!("{}\n{}\n", a.render(), b.render());
+    }
+    if want("fig8") {
+        println!("{}", fig8_9::run_fig8(&scale).render());
+    }
+    if want("fig9") {
+        let (f, _, _) = fig8_9::run_fig9(&scale);
+        println!("{}", f.render());
+    }
+    if want("fig10") {
+        let (a, b, c) = fig10::run(&scale);
+        print!("{}\n{}\n{}\n", a.render(), b.render(), c.render());
+    }
+    if want("fig11") {
+        println!("{}", fig11::run(&scale).render());
+    }
+    if want("fig12") {
+        let (a, b, c) = fig12::run(&scale);
+        print!("{}\n{}\n{}\n", a.render(), b.render(), c.render());
+    }
+    if figures.iter().any(|f| f == "headline") {
+        println!("{}", headline::run(&scale, replicas).render());
+    }
+    if want("clusters") {
+        println!("{}", clusters::run(&scale).render());
+    }
+    if want("ablations") {
+        println!("{}", ablations::gateway_election(&scale).render());
+        println!("{}", ablations::utility_selection(&scale).render());
+        println!("{}", ablations::sw_links(&scale).render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: vitis-experiments [fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 clusters headline ablations | all]\n\
+         \t[--nodes N] [--seed S] [--replicas R] [--paper | --quick]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,129 @@
+//! The common measurement driver: build a system, warm it up, publish a
+//! measured batch of events, let dissemination drain, and collect stats.
+
+use crate::scale::Scale;
+use vitis::config::VitisConfig;
+use vitis::monitor::PubSubStats;
+use vitis::system::{PubSub, SystemParams};
+use vitis::topic::{RateTable, TopicId, TopicSet};
+use vitis_workloads::Correlation;
+
+/// How the measured events pick their topics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PublishPlan {
+    /// Round-robin over all topics (uniform rates — the default setting).
+    RoundRobin,
+    /// Rate-weighted random topics (the α-sweep of Figure 7).
+    RateWeighted,
+}
+
+/// Build `SystemParams` for a synthetic-subscription experiment.
+pub fn synthetic_params(scale: &Scale, correlation: Correlation) -> SystemParams {
+    let subs: Vec<TopicSet> = scale
+        .subscription_model(correlation)
+        .generate(scale.seed)
+        .into_iter()
+        .map(TopicSet::from_iter)
+        .collect();
+    params_from_subs(scale, subs, scale.topics)
+}
+
+/// Build `SystemParams` from explicit subscription sets (trace-driven
+/// experiments).
+pub fn params_from_subs(
+    scale: &Scale,
+    subscriptions: Vec<TopicSet>,
+    num_topics: usize,
+) -> SystemParams {
+    let mut p = SystemParams::new(subscriptions, num_topics);
+    p.seed = scale.seed;
+    p.cfg.est_n = scale.nodes.max(2);
+    p
+}
+
+/// Replace the rate table of prepared params (the α sweep).
+pub fn with_rates(mut p: SystemParams, rates: Vec<f64>) -> SystemParams {
+    p.rates = RateTable::from_rates(rates);
+    p
+}
+
+/// Apply a Vitis-config transformation to prepared params.
+pub fn with_cfg(mut p: SystemParams, f: impl FnOnce(&mut VitisConfig)) -> SystemParams {
+    f(&mut p.cfg);
+    p
+}
+
+/// Warm up, publish the measured batch, drain, and return the stats.
+///
+/// Events are published in ten spaced chunks so dissemination load overlaps
+/// rounds realistically instead of arriving as a single burst.
+pub fn measure(sys: &mut dyn PubSub, scale: &Scale, plan: PublishPlan) -> PubSubStats {
+    sys.run_rounds(scale.warmup_rounds);
+    sys.reset_metrics();
+    let chunk = (scale.events / 10).max(1);
+    let mut published = 0usize;
+    let mut topic_cursor = 0u32;
+    while published < scale.events {
+        for _ in 0..chunk.min(scale.events - published) {
+            match plan {
+                PublishPlan::RoundRobin => {
+                    sys.publish(TopicId(topic_cursor));
+                    topic_cursor = (topic_cursor + 1) % scale.topics as u32;
+                }
+                PublishPlan::RateWeighted => {
+                    sys.publish_weighted();
+                }
+            }
+            published += 1;
+        }
+        sys.run_rounds(1);
+    }
+    sys.run_rounds(scale.drain_rounds);
+    sys.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitis::system::VitisSystem;
+    use vitis_baselines::{OptSystem, RvrSystem};
+
+    fn tiny() -> Scale {
+        let mut s = Scale::proportional(150, 7);
+        s.warmup_rounds = 30;
+        s.events = 50;
+        s.drain_rounds = 6;
+        s
+    }
+
+    #[test]
+    fn measure_vitis_round_robin() {
+        let sc = tiny();
+        let mut sys = VitisSystem::new(synthetic_params(&sc, Correlation::High));
+        let s = measure(&mut sys, &sc, PublishPlan::RoundRobin);
+        assert_eq!(s.published, 50);
+        assert!(s.hit_ratio > 0.9, "hit {}", s.hit_ratio);
+    }
+
+    #[test]
+    fn measure_rvr_and_opt_run() {
+        let sc = tiny();
+        let mut rvr = RvrSystem::new(synthetic_params(&sc, Correlation::Random));
+        let s = measure(&mut rvr, &sc, PublishPlan::RoundRobin);
+        assert!(s.hit_ratio > 0.8, "rvr hit {}", s.hit_ratio);
+        let mut opt = OptSystem::new(synthetic_params(&sc, Correlation::Random));
+        let s = measure(&mut opt, &sc, PublishPlan::RateWeighted);
+        assert_eq!(s.relay_msgs, 0);
+    }
+
+    #[test]
+    fn with_cfg_and_rates_apply() {
+        let sc = tiny();
+        let p = with_cfg(synthetic_params(&sc, Correlation::Low), |c| {
+            c.rt_size = 20;
+        });
+        assert_eq!(p.cfg.rt_size, 20);
+        let p = with_rates(p, vec![2.0; sc.topics]);
+        assert_eq!(p.rates.rate(TopicId(0)), 2.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment scale presets.
+//!
+//! The paper evaluates at 10 000 nodes, 5000 topics, 100 buckets and 50
+//! subscriptions per node. Everything here keeps those *proportions*
+//! (topics = nodes/2, one bucket per 50 topics) while letting the node
+//! count scale down for CI and benchmarks.
+
+use vitis_workloads::{Correlation, SubscriptionModel};
+
+/// The size and measurement plan of one experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of topics.
+    pub topics: usize,
+    /// Buckets for the correlated subscription patterns.
+    pub buckets: usize,
+    /// Subscriptions per node.
+    pub subs_per_node: usize,
+    /// Gossip rounds before measurement starts.
+    pub warmup_rounds: u64,
+    /// Events published in the measurement window (spread over topics).
+    pub events: usize,
+    /// Rounds allowed for dissemination after the last publish.
+    pub drain_rounds: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Paper scale: 10 000 nodes, 5000 topics, 100 buckets.
+    pub fn paper() -> Scale {
+        Scale::proportional(10_000, 42)
+    }
+
+    /// Default harness scale: 2000 nodes — large enough that every paper
+    /// trend is visible, small enough to sweep in minutes.
+    pub fn default_run() -> Scale {
+        Scale::proportional(2000, 42)
+    }
+
+    /// Quick scale for CI smoke tests.
+    pub fn quick() -> Scale {
+        Scale::proportional(400, 42)
+    }
+
+    /// Keep the paper's proportions at an arbitrary node count.
+    pub fn proportional(nodes: usize, seed: u64) -> Scale {
+        let topics = (nodes / 2).max(20);
+        Scale {
+            nodes,
+            topics,
+            buckets: (topics / 50).max(4),
+            subs_per_node: 50.min(topics / 2).max(2),
+            warmup_rounds: 60,
+            events: topics.min(1000),
+            drain_rounds: 10,
+            seed,
+        }
+    }
+
+    /// The matching synthetic subscription model at a correlation level.
+    pub fn subscription_model(&self, correlation: Correlation) -> SubscriptionModel {
+        SubscriptionModel {
+            num_nodes: self.nodes,
+            num_topics: self.topics,
+            num_buckets: self.buckets,
+            subs_per_node: self.subs_per_node,
+            correlation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_section_iv() {
+        let s = Scale::paper();
+        assert_eq!(s.nodes, 10_000);
+        assert_eq!(s.topics, 5000);
+        assert_eq!(s.buckets, 100);
+        assert_eq!(s.subs_per_node, 50);
+    }
+
+    #[test]
+    fn proportions_hold_when_scaled() {
+        let s = Scale::proportional(1000, 1);
+        assert_eq!(s.topics, 500);
+        assert_eq!(s.buckets, 10);
+        assert_eq!(s.subs_per_node, 50);
+        let tiny = Scale::proportional(40, 1);
+        assert!(tiny.topics >= 20);
+        assert!(tiny.subs_per_node >= 2);
+    }
+
+    #[test]
+    fn model_mirrors_scale() {
+        let s = Scale::quick();
+        let m = s.subscription_model(Correlation::Low);
+        assert_eq!(m.num_nodes, s.nodes);
+        assert_eq!(m.num_topics, s.topics);
+        assert_eq!(m.correlation, Correlation::Low);
+    }
+}

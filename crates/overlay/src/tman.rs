@@ -1,0 +1,230 @@
+//! Generic T-Man topology construction (Jelasity & Babaoglu [26]).
+//!
+//! T-Man grows an arbitrary target topology from a gossip process: each
+//! node keeps the `view_size` best-ranked descriptors it has seen, and
+//! each round exchanges its view (plus a fresh peer-sampling list and a
+//! fresh self-descriptor) with a well-ranked neighbor; both sides keep the
+//! best of the union. With a ranking function that prefers ring-adjacent
+//! ids this builds a ring; with utility ranking it builds the similarity
+//! clusters of Vitis. The Vitis routing table specializes this machinery
+//! ([`crate::rt::select_neighbors`]); this module provides the *generic*
+//! construct plus convergence tests, so the substrate the paper cites is
+//! available on its own.
+
+use crate::entry::{merge_dedup, remove_addr, Entry};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use vitis_sim::event::NodeIdx;
+
+/// A ranking function: smaller is better (distance-like).
+pub trait RankFn<P> {
+    /// Rank `candidate` from the perspective of `owner`.
+    fn rank(&self, owner: &Entry<P>, candidate: &Entry<P>) -> f64;
+}
+
+impl<P, F: Fn(&Entry<P>, &Entry<P>) -> f64> RankFn<P> for F {
+    fn rank(&self, owner: &Entry<P>, candidate: &Entry<P>) -> f64 {
+        self(owner, candidate)
+    }
+}
+
+/// Generic T-Man node state.
+#[derive(Clone, Debug)]
+pub struct TMan<P> {
+    self_entry: Entry<P>,
+    view: Vec<Entry<P>>,
+    view_size: usize,
+}
+
+impl<P: Clone> TMan<P> {
+    /// Create a node with its own descriptor and a target view size.
+    pub fn new(self_entry: Entry<P>, view_size: usize) -> Self {
+        assert!(view_size > 0);
+        TMan {
+            self_entry,
+            view: Vec::new(),
+            view_size,
+        }
+    }
+
+    /// The node's own descriptor.
+    pub fn self_entry(&self) -> &Entry<P> {
+        &self.self_entry
+    }
+
+    /// Current view, best-ranked first (as of the last selection).
+    pub fn view(&self) -> &[Entry<P>] {
+        &self.view
+    }
+
+    /// Seed the view with bootstrap contacts.
+    pub fn bootstrap(&mut self, contacts: &[Entry<P>], rank: &impl RankFn<P>) {
+        self.absorb(contacts, rank);
+    }
+
+    /// Pick an exchange partner: a random node from the best half of the
+    /// view (T-Man's "psi" peer selection compromise between convergence
+    /// speed and robustness).
+    pub fn select_peer(&self, rng: &mut SmallRng) -> Option<NodeIdx> {
+        if self.view.is_empty() {
+            return None;
+        }
+        let half = self.view.len().div_ceil(2);
+        Some(self.view[rng.gen_range(0..half)].addr)
+    }
+
+    /// The buffer to send in an exchange: view plus fresh self-descriptor,
+    /// optionally merged with a peer-sampling list.
+    pub fn exchange_buffer(&self, sample: &[Entry<P>]) -> Vec<Entry<P>> {
+        let mut buf = self.view.clone();
+        merge_dedup(&mut buf, sample);
+        let fresh = self.self_entry.refreshed(self.self_entry.payload.clone());
+        merge_dedup(&mut buf, std::slice::from_ref(&fresh));
+        buf
+    }
+
+    /// Merge a received buffer and keep the `view_size` best-ranked
+    /// entries.
+    pub fn absorb(&mut self, incoming: &[Entry<P>], rank: &impl RankFn<P>) {
+        merge_dedup(&mut self.view, incoming);
+        remove_addr(&mut self.view, self.self_entry.addr);
+        let owner = self.self_entry.clone();
+        self.view.sort_by(|a, b| {
+            rank.rank(&owner, a)
+                .partial_cmp(&rank.rank(&owner, b))
+                .expect("ranks must not be NaN")
+                .then_with(|| a.addr.cmp(&b.addr))
+        });
+        self.view.truncate(self.view_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Id;
+    use rand::SeedableRng;
+
+    fn entry(i: u32, id: u64) -> Entry<()> {
+        Entry {
+            addr: NodeIdx(i),
+            id: Id(id),
+            age: 0,
+            payload: (),
+        }
+    }
+
+    /// Run a synchronous T-Man gossip over `n` nodes with the given rank
+    /// function; returns the final states.
+    fn converge(
+        n: u32,
+        view_size: usize,
+        rounds: usize,
+        ids: impl Fn(u32) -> u64,
+        rank: impl RankFn<()> + Copy,
+    ) -> Vec<TMan<()>> {
+        let mut nodes: Vec<TMan<()>> = (0..n)
+            .map(|i| TMan::new(entry(i, ids(i)), view_size))
+            .collect();
+        // Bootstrap: a random topology, as in the original T-Man
+        // experiments.
+        let mut rng = SmallRng::seed_from_u64(7);
+        for i in 0..n as usize {
+            let contacts: Vec<Entry<()>> = (0..3)
+                .map(|_| {
+                    let j = rng.gen_range(0..n);
+                    entry(j, ids(j))
+                })
+                .filter(|e| e.addr.0 != i as u32)
+                .collect();
+            nodes[i].bootstrap(&contacts, &rank);
+        }
+        for _ in 0..rounds {
+            for i in 0..n as usize {
+                let Some(peer) = nodes[i].select_peer(&mut rng) else {
+                    continue;
+                };
+                // Two uniformly random descriptors stand in for the peer
+                // sampling service T-Man runs over (the long-range mixing
+                // that keeps gossip from getting stuck in local optima).
+                let sample: Vec<Entry<()>> = (0..2)
+                    .map(|_| {
+                        let j = rng.gen_range(0..n);
+                        entry(j, ids(j))
+                    })
+                    .collect();
+                let buf_i = nodes[i].exchange_buffer(&sample);
+                let buf_p = nodes[peer.index()].exchange_buffer(&sample);
+                nodes[peer.index()].absorb(&buf_i, &rank);
+                nodes[i].absorb(&buf_p, &rank);
+            }
+        }
+        nodes
+    }
+
+    /// Ring ranking: minimal circular distance. After convergence every
+    /// node's two best entries are its true ring neighbors.
+    #[test]
+    fn converges_to_a_ring() {
+        let n = 64u32;
+        let step = u64::MAX / n as u64;
+        let ids = move |i: u32| i as u64 * step;
+        let rank = |o: &Entry<()>, c: &Entry<()>| o.id.ring_distance(c.id) as f64;
+        let nodes = converge(n, 4, 20, ids, rank);
+        let mut correct = 0;
+        for (i, node) in nodes.iter().enumerate() {
+            let want_a = ((i as u32) + 1) % n;
+            let want_b = ((i as u32) + n - 1) % n;
+            let top2: Vec<u32> = node.view().iter().take(2).map(|e| e.addr.0).collect();
+            if top2.contains(&want_a) && top2.contains(&want_b) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 >= 0.95 * n as f64,
+            "only {correct}/{n} nodes found both ring neighbors"
+        );
+    }
+
+    /// Line ranking: absolute difference of scalar ids. The extremes of the
+    /// line have their single true neighbor on top.
+    #[test]
+    fn converges_to_a_line() {
+        let n = 32u32;
+        let ids = |i: u32| i as u64; // scalar positions 0..n
+        let rank = |o: &Entry<()>, c: &Entry<()>| (o.id.0 as f64 - c.id.0 as f64).abs();
+        let nodes = converge(n, 4, 25, ids, rank);
+        for (i, node) in nodes.iter().enumerate() {
+            let best = node.view().first().expect("non-empty view");
+            let d = (best.id.0 as i64 - i as i64).unsigned_abs();
+            assert!(d <= 2, "node {i}: best neighbor at distance {d}");
+        }
+    }
+
+    #[test]
+    fn view_respects_capacity_and_excludes_self() {
+        let rank = |o: &Entry<()>, c: &Entry<()>| o.id.ring_distance(c.id) as f64;
+        let mut t = TMan::new(entry(0, 0), 3);
+        let batch: Vec<Entry<()>> = (0..10).map(|i| entry(i, i as u64 * 100)).collect();
+        t.absorb(&batch, &rank);
+        assert_eq!(t.view().len(), 3);
+        assert!(t.view().iter().all(|e| e.addr != NodeIdx(0)));
+        // Best-ranked first: closest ids lead.
+        assert_eq!(t.view()[0].addr, NodeIdx(1));
+    }
+
+    #[test]
+    fn select_peer_prefers_best_half() {
+        let rank = |o: &Entry<()>, c: &Entry<()>| o.id.ring_distance(c.id) as f64;
+        let mut t = TMan::new(entry(0, 0), 4);
+        t.absorb(
+            &[entry(1, 10), entry(2, 20), entry(3, 1 << 40), entry(4, 1 << 50)],
+            &rank,
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = t.select_peer(&mut rng).unwrap();
+            assert!(p == NodeIdx(1) || p == NodeIdx(2), "picked {p}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Empirical validation of the Symphony/Kleinberg routing-cost claim the
+//! paper's delay bound rests on: greedy routing over a ring with `k`
+//! harmonically distributed long links takes `O(log²N / k)` hops
+//! (Section III-A1, citing Symphony [27] and Kleinberg [8]).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vitis_overlay::id::Id;
+use vitis_overlay::routing::greedy_walk;
+use vitis_overlay::smallworld::harmonic_distance;
+use vitis_sim::event::NodeIdx;
+
+/// Build a static Symphony-style network: `n` ids uniformly random on the
+/// ring, each node linked to its ring successor/predecessor plus `k`
+/// harmonic long links; returns mean greedy hops over random lookups.
+fn mean_greedy_hops(n: usize, k: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ids: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let n = ids.len();
+
+    // succ/pred by sorted order; long links by harmonic draw, snapped to
+    // the nearest node clockwise of the drawn distance.
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let succ = (i + 1) % n;
+        let pred = (i + n - 1) % n;
+        neighbors[i].push(succ as u32);
+        neighbors[i].push(pred as u32);
+        for _ in 0..k {
+            let d = harmonic_distance(n, &mut rng);
+            let target = ids[i].wrapping_add(d);
+            // First node clockwise of `target`. Long links are undirected
+            // connections (Kleinberg's model and TCP reality), so both
+            // endpoints can route over them.
+            let j = ids.partition_point(|&x| x < target) % n;
+            if j != i {
+                neighbors[i].push(j as u32);
+                neighbors[j].push(i as u32);
+            }
+        }
+    }
+
+    let id_of = |x: NodeIdx| Id(ids[x.0 as usize]);
+    let neighbors_of = |x: NodeIdx| -> Vec<(Id, NodeIdx)> {
+        neighbors[x.0 as usize]
+            .iter()
+            .map(|&j| (Id(ids[j as usize]), NodeIdx(j)))
+            .collect()
+    };
+
+    let lookups = 300;
+    let mut total = 0usize;
+    for _ in 0..lookups {
+        let src = NodeIdx(rng.gen_range(0..n as u32));
+        let target = Id(rng.gen());
+        let path = greedy_walk(src, target, 10 * n, id_of, neighbors_of)
+            .expect("greedy must terminate on a consistent ring");
+        total += path.hops();
+    }
+    total as f64 / lookups as f64
+}
+
+/// Routing cost grows polylogarithmically: quadrupling N far less than
+/// quadruples the hop count.
+#[test]
+fn greedy_hops_grow_polylog_with_n() {
+    let h256 = mean_greedy_hops(256, 2, 1);
+    let h1024 = mean_greedy_hops(1024, 2, 2);
+    let h4096 = mean_greedy_hops(4096, 2, 3);
+    assert!(h256 < h1024 && h1024 < h4096, "{h256} {h1024} {h4096}");
+    // log²(4096)/log²(256) = (12/8)² = 2.25; allow slack but reject linear
+    // growth (16x).
+    let ratio = h4096 / h256;
+    assert!(
+        ratio < 4.0,
+        "hops grew {ratio:.1}x for 16x nodes ({h256:.1} -> {h4096:.1})"
+    );
+}
+
+/// More long links cut the hop count roughly proportionally (O(log²N / k)).
+#[test]
+fn greedy_hops_shrink_with_k() {
+    let h1 = mean_greedy_hops(2048, 1, 5);
+    let h4 = mean_greedy_hops(2048, 4, 6);
+    let h8 = mean_greedy_hops(2048, 8, 7);
+    assert!(h4 < h1 && h8 < h4, "{h1} {h4} {h8}");
+    assert!(
+        h1 / h4 > 1.8,
+        "k=4 should cut hops substantially: {h1:.1} vs {h4:.1}"
+    );
+}
+
+/// Ring-only routing (k = 0) is linear — the baseline the long links beat.
+#[test]
+fn ring_only_routing_is_linear() {
+    let n = 512;
+    let ring_only = mean_greedy_hops(n, 0, 9);
+    let with_links = mean_greedy_hops(n, 2, 9);
+    // Expected ring-only cost is ~n/4 hops.
+    assert!(
+        ring_only > n as f64 / 8.0,
+        "ring-only {ring_only:.1} hops suspiciously low"
+    );
+    assert!(
+        with_links < ring_only / 4.0,
+        "long links must dominate: {with_links:.1} vs {ring_only:.1}"
+    );
+}

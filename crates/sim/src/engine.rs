@@ -1,0 +1,658 @@
+//! The deterministic discrete-event engine.
+//!
+//! The engine owns all node states, a single event queue, and the network
+//! model. It is single-threaded by design: determinism and debuggability of
+//! protocol logic trump parallel execution here (parameter-sweep parallelism
+//! lives one level up, across independent engine instances — see the
+//! experiment harness, which runs sweep points on Rayon).
+//!
+//! Gossip protocols are *cycle-driven* on top of the event queue: each alive
+//! node receives a `RoundTick` every `round_period` ticks, desynchronized by
+//! a per-node phase drawn at join time, exactly like PeerSim's event-driven
+//! mode running a periodic protocol.
+
+use crate::event::{EventQueue, NodeIdx};
+use crate::network::{ConstantLatency, NetworkModel};
+use crate::protocol::{Context, Effect, Protocol, StopReason};
+use crate::rng;
+use crate::time::{Duration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Engine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Master seed; every RNG stream in the run derives from it.
+    pub seed: u64,
+    /// Gossip round period in ticks. Each node ticks once per period.
+    pub round_period: Duration,
+    /// If true, each node's tick phase is drawn uniformly in `[0, period)`;
+    /// if false, all nodes tick in lock-step (useful in unit tests).
+    pub desynchronize_rounds: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0xC0FFEE,
+            round_period: Duration(64),
+            desynchronize_rounds: true,
+        }
+    }
+}
+
+/// Per-slot bookkeeping.
+struct Slot<P: Protocol> {
+    proto: Option<P>,
+    rng: SmallRng,
+    incarnation: u32,
+    joined_at: SimTime,
+    /// Messages handed to the network by this node (control + data).
+    sent: u64,
+    /// Messages delivered to this node.
+    received: u64,
+}
+
+enum Ev<M> {
+    Deliver {
+        to: NodeIdx,
+        from: NodeIdx,
+        msg: M,
+    },
+    /// Periodic gossip tick. The incarnation guard discards ticks scheduled
+    /// for a previous life of the slot.
+    RoundTick {
+        node: NodeIdx,
+        incarnation: u32,
+    },
+}
+
+/// Aggregate message-count statistics for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total messages handed to the network.
+    pub messages_sent: u64,
+    /// Total messages delivered (sent minus lost minus addressed-to-dead).
+    pub messages_delivered: u64,
+    /// Messages that arrived at a slot with no alive node.
+    pub messages_to_dead: u64,
+    /// Round ticks executed.
+    pub rounds_executed: u64,
+}
+
+/// The simulation engine. `P` is the per-node protocol, `N` the network
+/// model (constant one-tick latency by default).
+pub struct Engine<P: Protocol, N: NetworkModel = ConstantLatency> {
+    cfg: EngineConfig,
+    network: N,
+    slots: Vec<Slot<P>>,
+    queue: EventQueue<Ev<P::Msg>>,
+    now: SimTime,
+    engine_rng: SmallRng,
+    stats: EngineStats,
+    effects_buf: Vec<Effect<P::Msg>>,
+}
+
+impl<P: Protocol> Engine<P, ConstantLatency> {
+    /// Engine with the default constant one-tick latency network.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine::with_network(cfg, ConstantLatency::default())
+    }
+}
+
+impl<P: Protocol, N: NetworkModel> Engine<P, N> {
+    /// Engine with an explicit network model.
+    pub fn with_network(cfg: EngineConfig, network: N) -> Self {
+        let engine_rng = rng::stream_rng(cfg.seed, rng::domain::ENGINE, 0);
+        Engine {
+            cfg,
+            network,
+            slots: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            engine_rng,
+            stats: EngineStats::default(),
+            effects_buf: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured gossip round period.
+    #[inline]
+    pub fn round_period(&self) -> Duration {
+        self.cfg.round_period
+    }
+
+    /// The master seed of this run.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// Aggregate message statistics.
+    #[inline]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of pending events in the queue (ticks + in-flight messages).
+    #[inline]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the event queue is fully drained (only possible when no node
+    /// is alive, since alive nodes keep a pending round tick).
+    #[inline]
+    pub fn queue_is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of slots ever created (alive or dead).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.proto.is_some()).count()
+    }
+
+    /// Whether the node in `idx` is alive.
+    #[inline]
+    pub fn is_alive(&self, idx: NodeIdx) -> bool {
+        self.slots
+            .get(idx.index())
+            .is_some_and(|s| s.proto.is_some())
+    }
+
+    /// Time at which the current incarnation of `idx` joined.
+    pub fn joined_at(&self, idx: NodeIdx) -> Option<SimTime> {
+        let s = self.slots.get(idx.index())?;
+        s.proto.as_ref().map(|_| s.joined_at)
+    }
+
+    /// Shared access to a node's protocol state, if alive.
+    pub fn node(&self, idx: NodeIdx) -> Option<&P> {
+        self.slots.get(idx.index()).and_then(|s| s.proto.as_ref())
+    }
+
+    /// Exclusive access to a node's protocol state, if alive.
+    ///
+    /// Intended for experiment harnesses injecting stimuli (e.g. a publish
+    /// call) outside the message flow; protocol logic itself should stay
+    /// inside handlers.
+    pub fn node_mut(&mut self, idx: NodeIdx) -> Option<&mut P> {
+        self.slots
+            .get_mut(idx.index())
+            .and_then(|s| s.proto.as_mut())
+    }
+
+    /// Iterate over `(idx, &state)` of all alive nodes, in slot order.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = (NodeIdx, &P)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.proto.as_ref().map(|p| (NodeIdx(i as u32), p)))
+    }
+
+    /// Indices of all alive nodes, in slot order.
+    pub fn alive_indices(&self) -> Vec<NodeIdx> {
+        self.alive_nodes().map(|(i, _)| i).collect()
+    }
+
+    /// Per-node (sent, received) message counters for the slot's lifetime.
+    pub fn slot_traffic(&self, idx: NodeIdx) -> (u64, u64) {
+        let s = &self.slots[idx.index()];
+        (s.sent, s.received)
+    }
+
+    /// Inject a message into `to` from outside the protocol flow — harness
+    /// stimuli such as a publish command. Delivered one tick from now with
+    /// `from == to`, like a self-timer.
+    pub fn inject(&mut self, to: NodeIdx, msg: P::Msg) {
+        self.queue.push(
+            self.now + Duration(1),
+            Ev::Deliver {
+                to,
+                from: to,
+                msg,
+            },
+        );
+    }
+
+    /// Add a new node in a fresh slot; runs `on_start` immediately and
+    /// schedules its round ticks. Returns the slot index.
+    pub fn add_node(&mut self, proto: P) -> NodeIdx {
+        let idx = NodeIdx(self.slots.len() as u32);
+        let node_rng = rng::node_rng(self.cfg.seed, idx.0, 0);
+        self.slots.push(Slot {
+            proto: Some(proto),
+            rng: node_rng,
+            incarnation: 0,
+            joined_at: self.now,
+            sent: 0,
+            received: 0,
+        });
+        self.start_node(idx);
+        idx
+    }
+
+    /// Re-join a node into a previously vacated slot with fresh state.
+    ///
+    /// # Panics
+    /// Panics if the slot is still alive.
+    pub fn rejoin_node(&mut self, idx: NodeIdx, proto: P) {
+        let slot = &mut self.slots[idx.index()];
+        assert!(slot.proto.is_none(), "rejoin into alive slot {idx}");
+        slot.incarnation += 1;
+        slot.rng = rng::node_rng(self.cfg.seed, idx.0, slot.incarnation);
+        slot.proto = Some(proto);
+        slot.joined_at = self.now;
+        self.start_node(idx);
+    }
+
+    fn start_node(&mut self, idx: NodeIdx) {
+        self.dispatch(idx, DispatchKind::Start);
+        let phase = if self.cfg.desynchronize_rounds {
+            Duration(self.engine_rng.gen_range(1..=self.cfg.round_period.ticks()))
+        } else {
+            self.cfg.round_period
+        };
+        let inc = self.slots[idx.index()].incarnation;
+        self.queue.push(
+            self.now + phase,
+            Ev::RoundTick {
+                node: idx,
+                incarnation: inc,
+            },
+        );
+    }
+
+    /// Stop the node in `idx`. With [`StopReason::Leave`] the protocol's
+    /// `on_stop` effects (goodbye messages) are applied; with
+    /// [`StopReason::Crash`] they are discarded.
+    pub fn remove_node(&mut self, idx: NodeIdx, reason: StopReason) {
+        if !self.is_alive(idx) {
+            return;
+        }
+        self.dispatch(idx, DispatchKind::Stop(reason));
+        self.slots[idx.index()].proto = None;
+    }
+
+    /// Run the simulation until simulated time `t` (inclusive of events at
+    /// `t`), then set the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(et) = self.queue.peek_time() {
+            if et > t {
+                break;
+            }
+            let (time, ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            self.handle_event(ev);
+        }
+        self.now = t;
+    }
+
+    /// Advance the clock by `d` ticks, executing everything due.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Advance by `n` gossip round periods.
+    pub fn run_rounds(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_for(self.cfg.round_period);
+        }
+    }
+
+    /// Drain every pending event regardless of timestamp (the clock follows
+    /// the last executed event). Useful to let a dissemination cascade
+    /// complete; be sure protocols are quiescent (ticks keep the queue
+    /// non-empty, so this caps at `max_events`).
+    pub fn drain(&mut self, max_events: u64) {
+        for _ in 0..max_events {
+            match self.queue.pop() {
+                Some((time, ev)) => {
+                    self.now = time;
+                    self.handle_event(ev);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: Ev<P::Msg>) {
+        match ev {
+            Ev::Deliver { to, from, msg } => {
+                match self.slots.get_mut(to.index()) {
+                    Some(s) if s.proto.is_some() => {
+                        s.received += 1;
+                        self.stats.messages_delivered += 1;
+                        self.dispatch(to, DispatchKind::Message { from, msg });
+                    }
+                    _ => {
+                        self.stats.messages_to_dead += 1;
+                    }
+                }
+            }
+            Ev::RoundTick { node, incarnation } => {
+                let alive = self
+                    .slots
+                    .get(node.index())
+                    .is_some_and(|s| s.proto.is_some() && s.incarnation == incarnation);
+                if alive {
+                    self.stats.rounds_executed += 1;
+                    self.dispatch(node, DispatchKind::Round);
+                    self.queue.push(
+                        self.now + self.cfg.round_period,
+                        Ev::RoundTick { node, incarnation },
+                    );
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, idx: NodeIdx, kind: DispatchKind<P::Msg>) {
+        // Take the protocol out of its slot so we can hand out `&mut` to both
+        // the protocol and the slot RNG without aliasing.
+        let mut proto = match self.slots[idx.index()].proto.take() {
+            Some(p) => p,
+            None => return,
+        };
+        let discard_effects = matches!(kind, DispatchKind::Stop(StopReason::Crash));
+        let mut effects = std::mem::take(&mut self.effects_buf);
+        effects.clear();
+        let sent;
+        {
+            let slot = &mut self.slots[idx.index()];
+            let mut ctx = Context::new(idx, self.now, &mut slot.rng, &mut effects);
+            match kind {
+                DispatchKind::Start => proto.on_start(&mut ctx),
+                DispatchKind::Round => proto.on_round(&mut ctx),
+                DispatchKind::Message { from, msg } => proto.on_message(&mut ctx, from, msg),
+                DispatchKind::Stop(reason) => proto.on_stop(&mut ctx, reason),
+            }
+            sent = ctx.sent;
+        }
+        self.slots[idx.index()].proto = Some(proto);
+        if discard_effects {
+            effects.clear();
+        } else {
+            self.slots[idx.index()].sent += sent;
+            for eff in effects.drain(..) {
+                match eff {
+                    Effect::Send { to, msg } => {
+                        self.stats.messages_sent += 1;
+                        if let Some(lat) = self.network.latency(idx, to, &mut self.engine_rng) {
+                            self.queue.push(
+                                self.now + lat,
+                                Ev::Deliver {
+                                    to,
+                                    from: idx,
+                                    msg,
+                                },
+                            );
+                        }
+                    }
+                    Effect::TimerMsg { delay, msg } => {
+                        self.queue.push(
+                            self.now + delay,
+                            Ev::Deliver {
+                                to: idx,
+                                from: idx,
+                                msg,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.effects_buf = effects;
+    }
+}
+
+enum DispatchKind<M> {
+    Start,
+    Round,
+    Message { from: NodeIdx, msg: M },
+    Stop(StopReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong test protocol: node 0 sends `Ping(k)` to node 1 each round;
+    /// node 1 replies `Pong(k+1)`.
+    struct PingPong {
+        peer: Option<NodeIdx>,
+        last_seen: u32,
+        rounds: u32,
+    }
+
+    #[derive(Clone)]
+    enum PpMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Protocol for PingPong {
+        type Msg = PpMsg;
+        fn on_start(&mut self, _ctx: &mut Context<'_, PpMsg>) {}
+        fn on_round(&mut self, ctx: &mut Context<'_, PpMsg>) {
+            self.rounds += 1;
+            if let Some(peer) = self.peer {
+                ctx.send(peer, PpMsg::Ping(self.rounds));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, PpMsg>, from: NodeIdx, msg: PpMsg) {
+            match msg {
+                PpMsg::Ping(k) => ctx.send(from, PpMsg::Pong(k + 1)),
+                PpMsg::Pong(k) => self.last_seen = k,
+            }
+        }
+    }
+
+    fn pp(peer: Option<NodeIdx>) -> PingPong {
+        PingPong {
+            peer,
+            last_seen: 0,
+            rounds: 0,
+        }
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            seed: 1,
+            round_period: Duration(16),
+            desynchronize_rounds: true,
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut eng = Engine::new(cfg());
+        let b = NodeIdx(1);
+        let a = eng.add_node(pp(Some(b)));
+        let b2 = eng.add_node(pp(None));
+        assert_eq!(b, b2);
+        eng.run_rounds(5);
+        let pa = eng.node(a).unwrap();
+        assert!(pa.rounds >= 4, "rounds = {}", pa.rounds);
+        assert!(pa.last_seen >= 2, "last_seen = {}", pa.last_seen);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut eng = Engine::new(cfg());
+            let b = NodeIdx(1);
+            let a = eng.add_node(pp(Some(b)));
+            eng.add_node(pp(Some(a)));
+            eng.run_rounds(10);
+            (
+                eng.stats(),
+                eng.node(a).unwrap().last_seen,
+                eng.node(b).unwrap().last_seen,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lockstep_mode_ticks_every_node_once_per_period() {
+        let mut eng = Engine::new(EngineConfig {
+            seed: 1,
+            round_period: Duration(16),
+            desynchronize_rounds: false,
+        });
+        let a = eng.add_node(pp(None));
+        let b = eng.add_node(pp(None));
+        eng.run_for(Duration(16 * 4));
+        assert_eq!(eng.node(a).unwrap().rounds, 4);
+        assert_eq!(eng.node(b).unwrap().rounds, 4);
+    }
+
+    #[test]
+    fn desynchronized_phases_vary_across_seeds() {
+        // With many nodes, the set of first-period tick counts must differ
+        // between seeds (each phase is an independent uniform draw).
+        let run = |seed| {
+            let mut eng = Engine::new(EngineConfig { seed, ..cfg() });
+            for _ in 0..64 {
+                eng.add_node(pp(None));
+            }
+            eng.run_for(Duration(8));
+            eng.alive_nodes()
+                .map(|(_, p)| p.rounds)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(run(1), run(999));
+    }
+
+    #[test]
+    fn messages_to_removed_nodes_are_dropped() {
+        let mut eng = Engine::new(cfg());
+        let b = NodeIdx(1);
+        let a = eng.add_node(pp(Some(b)));
+        eng.add_node(pp(None));
+        eng.remove_node(b, StopReason::Crash);
+        assert!(!eng.is_alive(b));
+        eng.run_rounds(3);
+        assert!(eng.stats().messages_to_dead > 0);
+        assert_eq!(eng.node(a).unwrap().last_seen, 0);
+    }
+
+    #[test]
+    fn rejoin_bumps_incarnation_and_restarts_ticks() {
+        let mut eng = Engine::new(cfg());
+        let b = NodeIdx(1);
+        let a = eng.add_node(pp(Some(b)));
+        eng.add_node(pp(Some(a)));
+        eng.run_rounds(2);
+        eng.remove_node(b, StopReason::Leave);
+        eng.run_rounds(2);
+        eng.rejoin_node(b, pp(Some(a)));
+        eng.run_rounds(3);
+        assert!(eng.node(b).unwrap().rounds >= 2);
+        assert_eq!(eng.alive_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejoin into alive slot")]
+    fn rejoin_alive_slot_panics() {
+        let mut eng = Engine::new(cfg());
+        let a = eng.add_node(pp(None));
+        eng.rejoin_node(a, pp(None));
+    }
+
+    #[test]
+    fn timers_deliver_to_self() {
+        struct T {
+            fired: bool,
+        }
+        #[derive(Clone)]
+        struct Tick;
+        impl Protocol for T {
+            type Msg = Tick;
+            fn on_start(&mut self, ctx: &mut Context<'_, Tick>) {
+                ctx.timer(Duration(5), Tick);
+            }
+            fn on_round(&mut self, _: &mut Context<'_, Tick>) {}
+            fn on_message(&mut self, _: &mut Context<'_, Tick>, from: NodeIdx, _: Tick) {
+                assert_eq!(from, NodeIdx(0));
+                self.fired = true;
+            }
+        }
+        let mut eng: Engine<T> = Engine::new(cfg());
+        let a = eng.add_node(T { fired: false });
+        eng.run_for(Duration(6));
+        assert!(eng.node(a).unwrap().fired);
+    }
+
+    #[test]
+    fn crash_discards_on_stop_effects() {
+        struct Goodbye {
+            peer: Option<NodeIdx>,
+            got: u32,
+        }
+        #[derive(Clone)]
+        struct Bye;
+        impl Protocol for Goodbye {
+            type Msg = Bye;
+            fn on_start(&mut self, _: &mut Context<'_, Bye>) {}
+            fn on_round(&mut self, _: &mut Context<'_, Bye>) {}
+            fn on_message(&mut self, _: &mut Context<'_, Bye>, _: NodeIdx, _: Bye) {
+                self.got += 1;
+            }
+            fn on_stop(&mut self, ctx: &mut Context<'_, Bye>, _: StopReason) {
+                if let Some(p) = self.peer {
+                    ctx.send(p, Bye);
+                }
+            }
+        }
+        let mut eng: Engine<Goodbye> = Engine::new(cfg());
+        let a = eng.add_node(Goodbye { peer: None, got: 0 });
+        let b = eng.add_node(Goodbye {
+            peer: Some(a),
+            got: 0,
+        });
+        let c = eng.add_node(Goodbye {
+            peer: Some(a),
+            got: 0,
+        });
+        eng.remove_node(b, StopReason::Crash);
+        eng.remove_node(c, StopReason::Leave);
+        eng.run_for(Duration(4));
+        // Only the graceful leaver's goodbye arrives.
+        assert_eq!(eng.node(a).unwrap().got, 1);
+    }
+
+    #[test]
+    fn run_until_sets_clock_even_without_events() {
+        let mut eng: Engine<PingPong> = Engine::new(cfg());
+        eng.run_until(SimTime(1000));
+        assert_eq!(eng.now(), SimTime(1000));
+    }
+
+    #[test]
+    fn alive_iteration_skips_dead_slots() {
+        let mut eng = Engine::new(cfg());
+        let a = eng.add_node(pp(None));
+        let b = eng.add_node(pp(None));
+        let c = eng.add_node(pp(None));
+        eng.remove_node(b, StopReason::Leave);
+        let alive = eng.alive_indices();
+        assert_eq!(alive, vec![a, c]);
+        assert_eq!(eng.alive_count(), 2);
+        assert_eq!(eng.num_slots(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap ordered by `(time, sequence)`. The monotonically
+//! increasing sequence number makes event ordering fully deterministic even
+//! when many events share a timestamp: ties are broken by insertion order.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies a node *slot* in the engine. Slots are stable for the lifetime
+/// of a simulation: a node that leaves and re-joins re-uses its slot with a
+/// bumped incarnation number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// The slot index as a usize, for indexing engine-internal vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An event scheduled for execution at a point in simulated time.
+#[derive(Debug)]
+pub(crate) struct Scheduled<E> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic event queue: pops events in `(time, insertion order)`.
+pub(crate) struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), "b");
+        q.push(SimTime(1), "a");
+        q.push(SimTime(9), "c");
+        assert_eq!(q.pop(), Some((SimTime(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime(5), "b")));
+        assert_eq!(q.pop(), Some((SimTime(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), 1);
+        q.push(SimTime(3), 0);
+        assert_eq!(q.pop(), Some((SimTime(3), 0)));
+        q.push(SimTime(4), 2);
+        assert_eq!(q.pop(), Some((SimTime(4), 2)));
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(8), ());
+        q.push(SimTime(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,336 @@
+//! Measurement primitives: counters, sample summaries, fixed-bin histograms
+//! and time series.
+//!
+//! These are intentionally simple, allocation-light containers; the
+//! evaluation-metric *semantics* (hit ratio, traffic overhead, propagation
+//! delay) live with the protocols that define them.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming summary of a sample: count, mean, variance (Welford), min, max.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record all items of an iterator.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram over `[0, upper)` with `bins` equal-width bins plus an
+/// overflow bin. Used e.g. for the per-node traffic-overhead distribution
+/// of Figure 5 (percent values, 0–100).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    upper: f64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[0, upper)` with `bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `upper <= 0`.
+    pub fn new(bins: usize, upper: f64) -> Self {
+        assert!(bins > 0 && upper > 0.0);
+        Histogram {
+            counts: vec![0; bins + 1], // last bin = overflow
+            upper,
+            total: 0,
+        }
+    }
+
+    /// Record one observation (negative values clamp to the first bin).
+    pub fn record(&mut self, x: f64) {
+        let bins = self.counts.len() - 1;
+        let idx = if x < 0.0 {
+            0
+        } else if x >= self.upper {
+            bins
+        } else {
+            ((x / self.upper) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins (excluding overflow).
+    pub fn num_bins(&self) -> usize {
+        self.counts.len() - 1
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw count of bin `i` (use `num_bins()` as the overflow index).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Fraction of observations in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lower(&self, i: usize) -> f64 {
+        self.upper * i as f64 / self.num_bins() as f64
+    }
+
+    /// `(bin_lower, fraction)` pairs for all bins including overflow.
+    pub fn fractions(&self) -> Vec<(f64, f64)> {
+        (0..self.counts.len())
+            .map(|i| (self.bin_lower(i), self.fraction(i)))
+            .collect()
+    }
+}
+
+/// A `(time, value)` series, e.g. hit ratio sampled every hour of a churn
+/// experiment (Figure 12).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a point; `t` is a raw tick count (or any monotone x-value).
+    pub fn push(&mut self, t: u64, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(pt, _)| pt <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_matches_closed_form() {
+        let mut s = Summary::new();
+        s.record_all([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance of this classic sample is 4.0; unbiased is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        whole.record_all(xs.iter().copied());
+        let mut left = Summary::new();
+        left.record_all(xs[..37].iter().copied());
+        let mut right = Summary::new();
+        right.record_all(xs[37..].iter().copied());
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(10, 100.0);
+        h.record(0.0); // bin 0
+        h.record(9.99); // bin 0
+        h.record(10.0); // bin 1
+        h.record(99.9); // bin 9
+        h.record(100.0); // overflow
+        h.record(-1.0); // clamps to bin 0
+        assert_eq!(h.count(0), 3);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(10), 1);
+        assert_eq!(h.total(), 6);
+        assert!((h.fraction(0) - 0.5).abs() < 1e-12);
+        assert_eq!(h.bin_lower(1), 10.0);
+    }
+
+    #[test]
+    fn time_series_basics() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(0, 1.0);
+        ts.push(10, 3.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.points()[1], (10, 3.0));
+        assert!((ts.mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! The network model: per-message latency and loss.
+//!
+//! The paper's evaluation counts hops rather than wall-clock delay, so the
+//! default model is a constant one-tick latency. Jittered and lossy models
+//! are provided for robustness experiments and tests.
+
+use crate::event::NodeIdx;
+use crate::time::Duration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Decides, per message, how long delivery takes and whether the message is
+/// dropped. Implementations must be deterministic given the RNG stream.
+pub trait NetworkModel {
+    /// Latency for a message from `from` to `to`, or `None` if the message is
+    /// lost in transit.
+    fn latency(&self, from: NodeIdx, to: NodeIdx, rng: &mut SmallRng) -> Option<Duration>;
+}
+
+/// Every message takes exactly `latency` ticks; nothing is lost.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLatency(pub Duration);
+
+impl Default for ConstantLatency {
+    fn default() -> Self {
+        ConstantLatency(Duration(1))
+    }
+}
+
+impl NetworkModel for ConstantLatency {
+    #[inline]
+    fn latency(&self, _: NodeIdx, _: NodeIdx, _: &mut SmallRng) -> Option<Duration> {
+        Some(self.0)
+    }
+}
+
+/// Latency drawn uniformly from `[min, max]` ticks; nothing is lost.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformLatency {
+    /// Inclusive lower bound, in ticks.
+    pub min: u64,
+    /// Inclusive upper bound, in ticks.
+    pub max: u64,
+}
+
+impl NetworkModel for UniformLatency {
+    #[inline]
+    fn latency(&self, _: NodeIdx, _: NodeIdx, rng: &mut SmallRng) -> Option<Duration> {
+        debug_assert!(self.min <= self.max);
+        Some(Duration(rng.gen_range(self.min..=self.max)))
+    }
+}
+
+/// Wraps another model and drops each message independently with probability
+/// `loss`.
+#[derive(Clone, Copy, Debug)]
+pub struct Lossy<M> {
+    /// The underlying latency model for delivered messages.
+    pub inner: M,
+    /// Per-message independent drop probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl<M: NetworkModel> NetworkModel for Lossy<M> {
+    #[inline]
+    fn latency(&self, from: NodeIdx, to: NodeIdx, rng: &mut SmallRng) -> Option<Duration> {
+        if rng.gen::<f64>() < self.loss {
+            None
+        } else {
+            self.inner.latency(from, to, rng)
+        }
+    }
+}
+
+/// A boxed, dynamically dispatched network model, for configs assembled at
+/// runtime (the experiment harness picks models from CLI flags).
+pub type DynNetworkModel = Box<dyn NetworkModel>;
+
+impl NetworkModel for DynNetworkModel {
+    #[inline]
+    fn latency(&self, from: NodeIdx, to: NodeIdx, rng: &mut SmallRng) -> Option<Duration> {
+        (**self).latency(from, to, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let m = ConstantLatency(Duration(3));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.latency(NodeIdx(0), NodeIdx(1), &mut r), Some(Duration(3)));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_bounds() {
+        let m = UniformLatency { min: 2, max: 6 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.latency(NodeIdx(0), NodeIdx(1), &mut r).unwrap();
+            assert!((2..=6).contains(&d.ticks()));
+        }
+    }
+
+    #[test]
+    fn lossy_drops_roughly_at_rate() {
+        let m = Lossy {
+            inner: ConstantLatency::default(),
+            loss: 0.25,
+        };
+        let mut r = rng();
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|_| m.latency(NodeIdx(0), NodeIdx(1), &mut r).is_none())
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn lossy_zero_never_drops() {
+        let m = Lossy {
+            inner: ConstantLatency::default(),
+            loss: 0.0,
+        };
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(m.latency(NodeIdx(0), NodeIdx(1), &mut r).is_some());
+        }
+    }
+
+    #[test]
+    fn dyn_model_dispatches() {
+        let m: DynNetworkModel = Box::new(ConstantLatency(Duration(9)));
+        let mut r = rng();
+        assert_eq!(m.latency(NodeIdx(0), NodeIdx(1), &mut r), Some(Duration(9)));
+    }
+}

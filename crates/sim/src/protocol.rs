@@ -1,0 +1,136 @@
+//! The protocol interface: what a node implementation must provide and what
+//! it may ask the engine to do.
+//!
+//! A protocol is a per-node state machine driven by three kinds of input:
+//! periodic round ticks (the gossip heartbeat), incoming messages, and
+//! lifecycle transitions. All outputs go through [`Context`], which buffers
+//! *effects* (sends, timers) that the engine applies after the handler
+//! returns — this keeps handlers pure with respect to the rest of the
+//! network and makes runs reproducible.
+
+use crate::event::NodeIdx;
+use crate::time::{Duration, SimTime};
+use rand::rngs::SmallRng;
+
+/// Why a node is being stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// Graceful departure: the node knows it is leaving (protocols may send
+    /// goodbye messages from `on_stop`).
+    Leave,
+    /// Crash failure: the node vanishes without executing `on_stop` logic
+    /// (the engine still calls `on_stop` so protocols can release external
+    /// resources, but any emitted sends are discarded).
+    Crash,
+}
+
+/// A per-node protocol implementation.
+///
+/// The engine owns one value of this type per alive node. Handlers receive a
+/// [`Context`] carrying the node's identity, the simulated clock, the node's
+/// private RNG stream and the effect buffer.
+pub trait Protocol: Sized {
+    /// The message type exchanged between nodes of this protocol.
+    type Msg: Clone;
+
+    /// Called once when the node is started (joined). Typical use: contact
+    /// bootstrap nodes, initialize views.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called on every periodic round tick (period set per-node at join).
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeIdx, msg: Self::Msg);
+
+    /// Called when the node stops. For [`StopReason::Crash`], any sends
+    /// emitted here are discarded by the engine.
+    fn on_stop(&mut self, _ctx: &mut Context<'_, Self::Msg>, _reason: StopReason) {}
+}
+
+/// An output requested by a protocol handler, applied by the engine after the
+/// handler returns.
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    /// Send `msg` to `to` through the network model.
+    Send { to: NodeIdx, msg: M },
+    /// Fire `on_message` on *this* node after `delay` with `msg` (a
+    /// self-timer carrying its payload; `from` will be the node itself).
+    TimerMsg { delay: Duration, msg: M },
+}
+
+/// Handler-side view of the engine: identity, clock, RNG and effect buffer.
+pub struct Context<'a, M> {
+    /// The node this handler runs on.
+    pub self_idx: NodeIdx,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The node's private, deterministic RNG stream.
+    pub rng: &'a mut SmallRng,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+    /// Messages sent by the handler, counted for control/data accounting.
+    pub(crate) sent: u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(
+        self_idx: NodeIdx,
+        now: SimTime,
+        rng: &'a mut SmallRng,
+        effects: &'a mut Vec<Effect<M>>,
+    ) -> Self {
+        Context {
+            self_idx,
+            now,
+            rng,
+            effects,
+            sent: 0,
+        }
+    }
+
+    /// Send `msg` to node `to`. Delivery latency and loss follow the engine's
+    /// network model. Sending to a dead or never-existing slot silently drops
+    /// the message at delivery time, exactly like a datagram to a gone peer.
+    pub fn send(&mut self, to: NodeIdx, msg: M) {
+        self.sent += 1;
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Deliver `msg` back to this node after `delay` ticks (self-timer with
+    /// payload). `on_message` will be invoked with `from == self_idx`.
+    pub fn timer(&mut self, delay: Duration, msg: M) {
+        self.effects.push(Effect::TimerMsg { delay, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_buffers_effects_in_order() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut effects: Vec<Effect<u32>> = Vec::new();
+        let mut ctx = Context::new(NodeIdx(3), SimTime(10), &mut rng, &mut effects);
+        ctx.send(NodeIdx(1), 100);
+        ctx.timer(Duration(5), 200);
+        ctx.send(NodeIdx(2), 300);
+        assert_eq!(ctx.sent, 2);
+        assert_eq!(effects.len(), 3);
+        match &effects[0] {
+            Effect::Send { to, msg } => {
+                assert_eq!(*to, NodeIdx(1));
+                assert_eq!(*msg, 100);
+            }
+            _ => panic!("expected send"),
+        }
+        match &effects[1] {
+            Effect::TimerMsg { delay, msg } => {
+                assert_eq!(*delay, Duration(5));
+                assert_eq!(*msg, 200);
+            }
+            _ => panic!("expected timer"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use vitis_sim::time::SimTime;
+use vitis_workloads::rates::{powerlaw_rates, top_k_share};
+use vitis_workloads::skype::SkypeModel;
+use vitis_workloads::subscriptions::{Correlation, SubscriptionModel};
+use vitis_workloads::twitter::{FollowGraph, TwitterModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated subscription set is sorted, deduped, in range, and
+    /// the node count is exact — for every correlation level and sizing.
+    #[test]
+    fn subscriptions_are_wellformed(
+        nodes in 1usize..200,
+        topics in 10usize..400,
+        buckets in 1usize..20,
+        subs in 1usize..40,
+        corr_pick in 0u8..3,
+        seed: u64,
+    ) {
+        let correlation = match corr_pick {
+            0 => Correlation::Random,
+            1 => Correlation::Low,
+            _ => Correlation::High,
+        };
+        let model = SubscriptionModel {
+            num_nodes: nodes,
+            num_topics: topics,
+            num_buckets: buckets,
+            subs_per_node: subs,
+            correlation,
+        };
+        let out = model.generate(seed);
+        prop_assert_eq!(out.len(), nodes);
+        for s in &out {
+            prop_assert!(s.len() <= subs.max(1));
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(s.iter().all(|&t| (t as usize) < topics));
+            prop_assert!(!s.is_empty());
+        }
+    }
+
+    /// Power-law rates are positive, normalized to `num_topics`, and skew
+    /// monotonically with alpha.
+    #[test]
+    fn rates_are_normalized(topics in 2usize..500, alpha in 0.0f64..3.5, seed: u64) {
+        let r = powerlaw_rates(topics, alpha, seed);
+        prop_assert_eq!(r.len(), topics);
+        prop_assert!(r.iter().all(|&x| x > 0.0));
+        let total: f64 = r.iter().sum();
+        prop_assert!((total - topics as f64).abs() < 1e-6 * topics as f64);
+        let share = top_k_share(&r, 1);
+        let share_flat = top_k_share(&powerlaw_rates(topics, 0.0, seed), 1);
+        prop_assert!(share >= share_flat - 1e-9);
+    }
+
+    /// The follow graph has no self-loops, sorted unique followee lists,
+    /// and edge conservation between out- and in-degree sums.
+    #[test]
+    fn twitter_graph_wellformed(users in 10usize..400, seed: u64) {
+        let g = FollowGraph::generate(
+            &TwitterModel {
+                num_users: users,
+                alpha: 1.65,
+                max_out_degree: 50,
+            },
+            seed,
+        );
+        prop_assert_eq!(g.len(), users);
+        for (u, f) in g.follows.iter().enumerate() {
+            prop_assert!(!f.contains(&(u as u32)));
+            prop_assert!(f.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(f.iter().all(|&v| (v as usize) < users));
+        }
+        let out_sum: u64 = g.out_degrees().iter().sum();
+        let in_sum: u64 = g.in_degrees().iter().sum();
+        prop_assert_eq!(out_sum, in_sum);
+    }
+
+    /// BFS samples have the requested size (capped by the graph), dense
+    /// re-indexing, and edge validity.
+    #[test]
+    fn bfs_sample_wellformed(users in 20usize..300, target in 1usize..400, seed: u64) {
+        let g = FollowGraph::generate(
+            &TwitterModel {
+                num_users: users,
+                alpha: 1.65,
+                max_out_degree: 30,
+            },
+            seed,
+        );
+        let s = g.bfs_sample(target, seed ^ 1);
+        prop_assert_eq!(s.len(), target.min(users));
+        for f in &s.follows {
+            prop_assert!(f.iter().all(|&v| (v as usize) < s.len()));
+        }
+    }
+
+    /// Skype traces validate (alternating sessions) and never exceed the
+    /// population bound at any probe time.
+    #[test]
+    fn skype_trace_population_bounded(
+        nodes in 5usize..150,
+        horizon in 20.0f64..300.0,
+        seed: u64,
+        probe_frac in 0.0f64..1.0,
+    ) {
+        let model = SkypeModel {
+            num_nodes: nodes,
+            horizon_hours: horizon,
+            flash_crowd_hour: horizon * 0.6,
+            ..SkypeModel::default()
+        };
+        let trace = model.generate(seed);
+        prop_assert!(trace.num_logical_nodes() as usize <= nodes);
+        let probe = SimTime((horizon * probe_frac * model.ticks_per_hour as f64) as u64);
+        prop_assert!(trace.online_at(probe) <= nodes);
+        // Horizon bound holds for every event.
+        for e in trace.events() {
+            prop_assert!(e.time <= model.horizon());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Side-by-side comparison of the three systems on the same workload —
+//! the paper's Table-style summary in one run.
+//!
+//! ```text
+//! cargo run --release --example compare_systems
+//! ```
+
+use vitis::prelude::*;
+use vitis_baselines::{OptSystem, RvrSystem};
+use vitis_workloads::{Correlation, SubscriptionModel};
+
+fn main() {
+    let model = SubscriptionModel {
+        num_nodes: 800,
+        num_topics: 400,
+        num_buckets: 8,
+        subs_per_node: 40,
+        correlation: Correlation::High,
+    };
+    let subs: Vec<TopicSet> = model
+        .generate(21)
+        .into_iter()
+        .map(TopicSet::from_iter)
+        .collect();
+    let mut params = SystemParams::new(subs, model.num_topics);
+    params.seed = 21;
+
+    println!(
+        "{} nodes, {} topics, {} subs/node, high interest correlation, degree bound 15\n",
+        model.num_nodes, model.num_topics, model.subs_per_node
+    );
+    println!(
+        "{:<8} {:>8} {:>11} {:>8} {:>12} {:>14}",
+        "system", "hit %", "overhead %", "hops", "mean degree", "ctl B/round"
+    );
+
+    let mut vitis = VitisSystem::new(params.clone());
+    run("Vitis", &mut vitis, model.num_topics);
+    let mut rvr = RvrSystem::new(params.clone());
+    run("RVR", &mut rvr, model.num_topics);
+    let mut opt = OptSystem::new(params);
+    run("OPT", &mut opt, model.num_topics);
+
+    println!(
+        "\nVitis: bounded degree AND low overhead — the gap the paper fills.\n\
+         RVR delivers everything but burns relay bandwidth; OPT never relays\n\
+         but its bounded degree cannot keep every topic subgraph connected."
+    );
+}
+
+fn run(name: &str, sys: &mut dyn PubSub, topics: usize) {
+    sys.run_rounds(50);
+    sys.reset_metrics();
+    for t in 0..topics as u32 {
+        sys.publish(TopicId(t));
+        if t % 40 == 39 {
+            sys.run_rounds(1);
+        }
+    }
+    sys.run_rounds(8);
+    let s = sys.stats();
+    println!(
+        "{:<8} {:>8.2} {:>11.1} {:>8.2} {:>12.1} {:>14.0}",
+        name,
+        100.0 * s.hit_ratio,
+        s.overhead_pct,
+        s.mean_hops,
+        sys.mean_degree(),
+        s.control_bytes_per_round
+    );
+}

@@ -1,0 +1,270 @@
+//! Cross-crate integration tests: workloads → systems → metrics, driving
+//! the same pipeline as the experiment harness.
+
+use vitis::prelude::*;
+use vitis_baselines::{OptConfig, OptSystem, RvrSystem};
+use vitis_workloads::{Correlation, SubscriptionModel};
+
+fn params(corr: Correlation, n: usize, seed: u64) -> SystemParams {
+    let model = SubscriptionModel {
+        num_nodes: n,
+        num_topics: n / 2,
+        num_buckets: (n / 100).max(4),
+        subs_per_node: 25.min(n / 4),
+        correlation: corr,
+    };
+    let subs: Vec<TopicSet> = model
+        .generate(seed)
+        .into_iter()
+        .map(TopicSet::from_iter)
+        .collect();
+    let mut p = SystemParams::new(subs, model.num_topics);
+    p.seed = seed;
+    p
+}
+
+fn warm_and_publish(sys: &mut dyn PubSub, topics: usize) -> PubSubStats {
+    sys.run_rounds(55);
+    sys.reset_metrics();
+    for t in 0..topics as u32 {
+        sys.publish(TopicId(t));
+        if t % 25 == 24 {
+            sys.run_rounds(1);
+        }
+    }
+    sys.run_rounds(8);
+    sys.stats()
+}
+
+/// The paper's central comparison, end to end: full delivery for Vitis and
+/// RVR, Vitis's overhead a fraction of RVR's, OPT with zero overhead but
+/// incomplete delivery under a degree bound.
+#[test]
+fn three_system_comparison_matches_paper_shape() {
+    let n = 500;
+    let p = params(Correlation::High, n, 3);
+    let topics = p.num_topics;
+
+    let mut vitis = VitisSystem::new(p.clone());
+    let vs = warm_and_publish(&mut vitis, topics);
+    let mut rvr = RvrSystem::new(p.clone());
+    let rs = warm_and_publish(&mut rvr, topics);
+    let mut opt = OptSystem::new(p);
+    let os = warm_and_publish(&mut opt, topics);
+
+    assert!(vs.hit_ratio > 0.99, "vitis hit {}", vs.hit_ratio);
+    assert!(rs.hit_ratio > 0.99, "rvr hit {}", rs.hit_ratio);
+    assert!(
+        vs.overhead_pct < rs.overhead_pct / 2.0,
+        "vitis {}% vs rvr {}%",
+        vs.overhead_pct,
+        rs.overhead_pct
+    );
+    assert_eq!(os.relay_msgs, 0);
+    assert!(os.hit_ratio < vs.hit_ratio, "opt {}", os.hit_ratio);
+    assert!(
+        vs.mean_hops < rs.mean_hops,
+        "vitis {} hops vs rvr {}",
+        vs.mean_hops,
+        rs.mean_hops
+    );
+}
+
+/// Correlation ordering: high-correlation subscriptions produce less relay
+/// traffic than random ones under Vitis.
+#[test]
+fn correlation_reduces_vitis_overhead() {
+    let n = 400;
+    let mut hi = VitisSystem::new(params(Correlation::High, n, 5));
+    let hs = warm_and_publish(&mut hi, n / 2);
+    let mut rnd = VitisSystem::new(params(Correlation::Random, n, 5));
+    let rs = warm_and_publish(&mut rnd, n / 2);
+    assert!(
+        hs.overhead_pct < rs.overhead_pct,
+        "high-corr {}% vs random {}%",
+        hs.overhead_pct,
+        rs.overhead_pct
+    );
+    assert!(hs.hit_ratio > 0.98 && rs.hit_ratio > 0.98);
+}
+
+/// Determinism across the whole pipeline: same seed, same numbers; the
+/// numbers survive a rebuild of every layer.
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mut sys = VitisSystem::new(params(Correlation::Low, 300, 9));
+        let s = warm_and_publish(&mut sys, 150);
+        (s.delivered, s.useful_msgs, s.relay_msgs, s.max_hops)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Unsubscription propagates: after a node empties its subscriptions it
+/// stops being counted and stops receiving as a subscriber.
+#[test]
+fn resubscription_changes_ground_truth() {
+    let mut sys = VitisSystem::new(params(Correlation::Low, 300, 13));
+    sys.run_rounds(40);
+    let topic = TopicId(0);
+    let victims: Vec<u32> = sys.workload().subscribers(topic).to_vec();
+    assert!(!victims.is_empty());
+    // There is at least one subscriber; the publish targets the rest.
+    sys.reset_metrics();
+    sys.publish(topic);
+    sys.run_rounds(6);
+    let before = sys.stats().expected;
+    assert!(before > 0);
+}
+
+/// Churn storm: drop a third of the network at once, heal, verify recovery;
+/// then a mass rejoin (flash crowd), heal, verify again.
+#[test]
+fn flash_crowd_recovery() {
+    let n = 450;
+    let mut sys = VitisSystem::new(params(Correlation::Low, n, 17));
+    sys.run_rounds(50);
+    for logical in 0..(n / 3) as u32 {
+        sys.set_online(logical, false);
+    }
+    sys.run_rounds(20);
+    sys.reset_metrics();
+    for t in 0..(n / 2) as u32 {
+        sys.publish(TopicId(t));
+    }
+    sys.run_rounds(8);
+    let s = sys.stats();
+    assert!(s.hit_ratio > 0.97, "after mass leave: {}", s.hit_ratio);
+
+    for logical in 0..(n / 3) as u32 {
+        sys.set_online(logical, true);
+    }
+    sys.run_rounds(20);
+    sys.reset_metrics();
+    for t in 0..(n / 2) as u32 {
+        sys.publish(TopicId(t));
+    }
+    sys.run_rounds(8);
+    let s = sys.stats();
+    assert!(s.hit_ratio > 0.97, "after flash crowd: {}", s.hit_ratio);
+    assert_eq!(sys.alive_count(), n);
+}
+
+/// OPT's degree/coverage trade-off end to end: unbounded beats bounded on
+/// hit ratio at the cost of degree.
+#[test]
+fn opt_trades_degree_for_coverage() {
+    let p = params(Correlation::High, 400, 23);
+    let topics = p.num_topics;
+    let mut bounded = OptSystem::with_config(
+        p.clone(),
+        OptConfig {
+            max_degree: Some(10),
+            ..OptConfig::default()
+        },
+    );
+    let bs = warm_and_publish(&mut bounded, topics);
+    let mut unbounded = OptSystem::with_config(
+        p,
+        OptConfig {
+            max_degree: None,
+            ..OptConfig::default()
+        },
+    );
+    let us = warm_and_publish(&mut unbounded, topics);
+    assert!(us.hit_ratio >= bs.hit_ratio);
+    assert!(unbounded.mean_degree() > bounded.mean_degree());
+}
+
+/// Robustness extensions beyond the paper's evaluation: message loss,
+/// latency jitter, Cyclon sampling and decentralized size estimation all
+/// keep delivery near-complete.
+#[test]
+fn extensions_survive_hostile_settings() {
+    use vitis::config::SamplingService;
+    use vitis::system::NetworkSpec;
+
+    let base = params(Correlation::Low, 300, 31);
+    let topics = base.num_topics;
+
+    // 5% message loss.
+    let mut p = base.clone();
+    p.network = NetworkSpec::LossyConstant(1, 0.05);
+    let mut sys = VitisSystem::new(p);
+    let s = warm_and_publish(&mut sys, topics);
+    assert!(s.hit_ratio > 0.93, "lossy: hit {}", s.hit_ratio);
+
+    // Jittered latency.
+    let mut p = base.clone();
+    p.network = NetworkSpec::Uniform(1, 8);
+    let mut sys = VitisSystem::new(p);
+    let s = warm_and_publish(&mut sys, topics);
+    assert!(s.hit_ratio > 0.97, "jitter: hit {}", s.hit_ratio);
+
+    // Cyclon sampling + ring-density size estimation.
+    let mut p = base;
+    p.cfg.sampling_service = SamplingService::Cyclon;
+    p.cfg.estimate_network_size = true;
+    p.cfg.est_n = 7; // deliberately wrong; the estimator must take over
+    let mut sys = VitisSystem::new(p);
+    let s = warm_and_publish(&mut sys, topics);
+    assert!(s.hit_ratio > 0.97, "cyclon+est: hit {}", s.hit_ratio);
+    // Nodes converged to a sensible size estimate despite the bogus config.
+    let ests: Vec<usize> = sys
+        .engine()
+        .alive_nodes()
+        .map(|(_, n)| n.estimated_n())
+        .collect();
+    let mean = ests.iter().sum::<usize>() as f64 / ests.len() as f64;
+    assert!(
+        (60.0..1500.0).contains(&mean),
+        "mean size estimate {mean} for n=300"
+    );
+}
+
+/// Runtime resubscription through the system API changes both ground truth
+/// and routing behavior.
+#[test]
+fn runtime_resubscription_end_to_end() {
+    let mut sys = VitisSystem::new(params(Correlation::Low, 300, 37));
+    sys.run_rounds(45);
+    let topic = TopicId(0);
+    let old_subs: Vec<u32> = sys.workload().subscribers(topic).to_vec();
+    assert!(!old_subs.is_empty());
+    // Everyone abandons topic 0 except one stubborn subscriber.
+    for &s in &old_subs[1..] {
+        let mut t = sys.workload().subs_of(s).as_ref().clone();
+        t.remove(topic);
+        sys.resubscribe(s, t);
+    }
+    sys.run_rounds(10);
+    assert_eq!(sys.workload().subscribers(topic).len(), 1);
+    sys.reset_metrics();
+    // Publishing now expects nobody (single subscriber is the publisher).
+    sys.publish(topic);
+    sys.run_rounds(4);
+    assert_eq!(sys.stats().expected, 0);
+}
+
+/// Control-plane bandwidth is bounded per node per round and the latency
+/// statistics populate: the degree bound translates into a gossip cost
+/// independent of network size (the paper's scalability argument).
+#[test]
+fn control_bandwidth_is_bounded_and_latency_populates() {
+    let mut small = VitisSystem::new(params(Correlation::Low, 200, 41));
+    let s_small = warm_and_publish(&mut small, 100);
+    let mut large = VitisSystem::new(params(Correlation::Low, 500, 41));
+    let s_large = warm_and_publish(&mut large, 250);
+    assert!(s_small.control_bytes_per_round > 0.0);
+    assert!(s_large.control_bytes_per_round > 0.0);
+    // Per-node control cost grows with subscriptions carried, not with N:
+    // allow a generous factor but far below linear scaling (2.5x nodes).
+    let ratio = s_large.control_bytes_per_round / s_small.control_bytes_per_round;
+    assert!(
+        ratio < 1.8,
+        "control bytes/round grew {ratio:.2}x for 2.5x nodes"
+    );
+    // Latency: at least one hop's worth of ticks, bounded by the run.
+    assert!(s_large.mean_latency_ticks >= 1.0);
+    assert!(s_large.max_latency_ticks >= s_large.mean_latency_ticks as u64);
+}

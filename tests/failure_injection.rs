@@ -1,0 +1,145 @@
+//! Targeted failure injection: kill exactly the nodes the structure leans
+//! on (rendezvous, gateways) and verify the soft state heals; plus gossip
+//! cost bounds.
+
+use vitis::prelude::*;
+use vitis_sim::event::NodeIdx;
+use vitis_workloads::{Correlation, SubscriptionModel};
+
+fn system(n: usize, seed: u64) -> VitisSystem {
+    let model = SubscriptionModel {
+        num_nodes: n,
+        num_topics: n / 2,
+        num_buckets: (n / 100).max(4),
+        subs_per_node: 20,
+        correlation: Correlation::Low,
+    };
+    let subs: Vec<TopicSet> = model
+        .generate(seed)
+        .into_iter()
+        .map(TopicSet::from_iter)
+        .collect();
+    let mut params = SystemParams::new(subs, model.num_topics);
+    params.seed = seed;
+    let mut sys = VitisSystem::new(params);
+    sys.run_rounds(55);
+    sys
+}
+
+fn rendezvous_of(sys: &VitisSystem, topic: TopicId) -> Vec<u32> {
+    sys.engine()
+        .alive_nodes()
+        .filter(|(_, n)| {
+            n.relay_table()
+                .get(topic)
+                .is_some_and(|e| e.is_rendezvous())
+        })
+        .map(|(i, _)| i.0)
+        .collect()
+}
+
+/// Crash the rendezvous node of a topic: the next lookups elect a new one
+/// and delivery recovers to full.
+#[test]
+fn rendezvous_crash_heals() {
+    let mut sys = system(300, 5);
+    // Find a topic with an established rendezvous.
+    let mut target = None;
+    for t in 0..sys.workload().num_topics() as u32 {
+        let r = rendezvous_of(&sys, TopicId(t));
+        if r.len() == 1 {
+            target = Some((TopicId(t), r[0]));
+            break;
+        }
+    }
+    let (topic, rdv) = target.expect("some topic has an established rendezvous");
+    sys.set_online(rdv, false);
+    sys.run_rounds(12); // detect + re-elect + rebuild relay paths
+    let new_rdv = rendezvous_of(&sys, topic);
+    assert!(
+        !new_rdv.contains(&rdv),
+        "dead node still believed to be rendezvous"
+    );
+    sys.reset_metrics();
+    sys.publish(topic);
+    sys.run_rounds(6);
+    let s = sys.stats();
+    assert!(s.expected > 0);
+    assert_eq!(
+        s.delivered, s.expected,
+        "delivery must fully recover after the rendezvous crash"
+    );
+}
+
+/// Crash every gateway of a topic at once: remaining subscribers re-elect
+/// within the gossip radius and delivery recovers.
+#[test]
+fn gateway_mass_crash_heals() {
+    let mut sys = system(300, 7);
+    let topic = TopicId(0);
+    let gws: Vec<u32> = sys
+        .engine()
+        .alive_nodes()
+        .filter(|(_, n)| n.is_gateway(topic))
+        .map(|(i, _)| i.0)
+        .collect();
+    assert!(!gws.is_empty(), "topic 0 has no gateways after warmup");
+    for g in &gws {
+        sys.set_online(*g, false);
+    }
+    sys.run_rounds(12);
+    let new_gws = sys
+        .engine()
+        .alive_nodes()
+        .filter(|(_, n)| n.is_gateway(topic))
+        .count();
+    assert!(new_gws >= 1, "no new gateways elected");
+    sys.reset_metrics();
+    sys.publish(topic);
+    sys.run_rounds(6);
+    let s = sys.stats();
+    assert!(
+        s.hit_ratio > 0.99,
+        "hit after gateway crash {}",
+        s.hit_ratio
+    );
+}
+
+/// Control traffic per node per round is bounded: the engine's message
+/// counters grow linearly with rounds, not with rounds², and the per-node
+/// rate is a small constant multiple of the table size.
+#[test]
+fn gossip_message_rate_is_bounded() {
+    let mut sys = system(200, 9);
+    let stats0 = sys.engine().stats();
+    let rounds = 20u64;
+    sys.run_rounds(rounds);
+    let stats1 = sys.engine().stats();
+    let msgs = stats1.messages_sent - stats0.messages_sent;
+    let per_node_per_round = msgs as f64 / (200.0 * rounds as f64);
+    // Per round a node sends: 1 PS exchange (+1 reply), 1 RT exchange
+    // (+1 reply), ≤15 heartbeats, a few relay refreshes. Far below 40.
+    assert!(
+        per_node_per_round < 40.0,
+        "control message rate {per_node_per_round:.1}/node/round"
+    );
+    assert!(per_node_per_round > 5.0, "suspiciously quiet gossip");
+}
+
+/// Half the network crashes at once and the survivors re-converge to a
+/// consistent ring within a bounded number of rounds.
+#[test]
+fn ring_reconverges_after_mass_crash() {
+    let mut sys = system(300, 13);
+    for logical in 0..150 {
+        sys.set_online(logical, false);
+    }
+    sys.run_rounds(25);
+    assert_eq!(sys.alive_count(), 150);
+    assert!(
+        sys.ring_accuracy() > 0.97,
+        "ring accuracy after losing half the network: {}",
+        sys.ring_accuracy()
+    );
+    let _ = NodeIdx(0);
+}
