@@ -18,7 +18,7 @@ use vitis_overlay::entry::Entry;
 use vitis_overlay::id::Id;
 use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::{Context, Protocol, StopReason};
+use vitis_sim::prelude::{Context, MsgTag, Protocol, StopReason};
 
 /// OPT node configuration.
 #[derive(Clone, Debug)]
@@ -238,6 +238,19 @@ impl OptNode {
 
 impl Protocol for OptNode {
     type Msg = OptMsg;
+
+    fn classify(msg: &OptMsg) -> MsgTag {
+        match msg {
+            OptMsg::PsReq(_) => MsgTag::control("ps_req"),
+            OptMsg::PsResp(_) => MsgTag::control("ps_resp"),
+            OptMsg::ConnectReq(..) => MsgTag::control("connect_req"),
+            OptMsg::ConnectAck(..) => MsgTag::control("connect_ack"),
+            OptMsg::Heartbeat(_) => MsgTag::control("heartbeat"),
+            OptMsg::Disconnect => MsgTag::control("disconnect"),
+            OptMsg::Notif { .. } => MsgTag::data("notification"),
+            OptMsg::PublishCmd { .. } => MsgTag::data("publish_cmd"),
+        }
+    }
 
     fn on_start(&mut self, ctx: &mut Context<'_, OptMsg>) {
         self.addr = ctx.self_idx;

@@ -22,7 +22,7 @@ use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
 use vitis_overlay::routing::next_hop;
 use vitis_overlay::rt::{build_exchange_buffer, select_neighbors, HybridRt, RtParams};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::{Context, Protocol, StopReason};
+use vitis_sim::prelude::{Context, MsgTag, Protocol, StopReason};
 
 /// RVR node configuration.
 #[derive(Clone, Debug)]
@@ -271,6 +271,19 @@ impl RvrNode {
 
 impl Protocol for RvrNode {
     type Msg = RvrMsg;
+
+    fn classify(msg: &RvrMsg) -> MsgTag {
+        match msg {
+            RvrMsg::PsReq(_) => MsgTag::control("ps_req"),
+            RvrMsg::PsResp(_) => MsgTag::control("ps_resp"),
+            RvrMsg::RtReq(_) => MsgTag::control("rt_req"),
+            RvrMsg::RtResp(_) => MsgTag::control("rt_resp"),
+            RvrMsg::Heartbeat(..) => MsgTag::control("heartbeat"),
+            RvrMsg::Join { .. } => MsgTag::control("join"),
+            RvrMsg::Notif { .. } => MsgTag::data("notification"),
+            RvrMsg::PublishCmd { .. } => MsgTag::data("publish_cmd"),
+        }
+    }
 
     fn on_start(&mut self, ctx: &mut Context<'_, RvrMsg>) {
         self.addr = ctx.self_idx;

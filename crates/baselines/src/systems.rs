@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use std::rc::Rc;
 use vitis::harness::Workload;
 use vitis::monitor::{EventId, Monitor, PubSubStats};
-use vitis::system::{PubSub, SystemParams};
+use vitis::system::{cluster_probe, PubSub, SystemParams};
 use vitis::topic::{Subs, TopicId};
 use vitis_overlay::entry::Entry;
 use vitis_overlay::graph::Graph;
@@ -19,6 +19,7 @@ use vitis_sim::event::NodeIdx;
 use vitis_sim::prelude::StopReason;
 use vitis_sim::rng::{domain, stream_rng};
 use vitis_sim::time::SimTime;
+use vitis_sim::trace::{HealthProbe, TraceHandle};
 
 /// A complete RVR (Scribe-equivalent) network.
 pub struct RvrSystem {
@@ -151,11 +152,14 @@ impl PubSub for RvrSystem {
     }
 
     fn stats(&self) -> PubSubStats {
-        self.monitor.snapshot()
+        self.monitor
+            .snapshot()
+            .with_kind_traffic(&self.engine.kind_traffic())
     }
 
     fn reset_metrics(&mut self) {
         self.monitor.reset();
+        self.engine.reset_kind_traffic();
     }
 
     fn now(&self) -> SimTime {
@@ -203,6 +207,43 @@ impl PubSub for RvrSystem {
             .into_iter()
             .map(|(_, pct)| pct)
             .collect()
+    }
+
+    fn install_trace(&mut self, trace: TraceHandle) {
+        self.engine.set_trace(trace);
+    }
+
+    fn health_probe(&self) -> HealthProbe {
+        let ring: Vec<(Id, Option<Id>)> = self
+            .engine
+            .alive_nodes()
+            .map(|(_, n)| {
+                (
+                    n.ring_id(),
+                    n.routing_table()
+                        .succ
+                        .as_ref()
+                        .and_then(|s| self.engine.is_alive(s.addr).then_some(s.id)),
+                )
+            })
+            .collect();
+        let (age_sum, entries) = self
+            .engine
+            .alive_nodes()
+            .flat_map(|(_, n)| n.routing_table().iter())
+            .fold((0u64, 0u64), |(s, c), e| (s + u64::from(e.age), c + 1));
+        let graph = self.overlay_graph();
+        let engine = &self.engine;
+        let (clusters, largest) =
+            cluster_probe(&graph, &self.workload, |s| engine.is_alive(NodeIdx(s)));
+        HealthProbe {
+            alive: self.engine.alive_count() as u64,
+            mean_degree: self.mean_degree(),
+            ring_accuracy: Some(vitis_overlay::ring::ring_accuracy(&ring)),
+            mean_view_age: (entries > 0).then(|| age_sum as f64 / entries as f64),
+            clusters: Some(clusters),
+            largest_cluster: Some(largest),
+        }
     }
 }
 
@@ -348,11 +389,14 @@ impl PubSub for OptSystem {
     }
 
     fn stats(&self) -> PubSubStats {
-        self.monitor.snapshot()
+        self.monitor
+            .snapshot()
+            .with_kind_traffic(&self.engine.kind_traffic())
     }
 
     fn reset_metrics(&mut self) {
         self.monitor.reset();
+        self.engine.reset_kind_traffic();
     }
 
     fn now(&self) -> SimTime {
@@ -398,6 +442,27 @@ impl PubSub for OptSystem {
             .into_iter()
             .map(|(_, pct)| pct)
             .collect()
+    }
+
+    fn install_trace(&mut self, trace: TraceHandle) {
+        self.engine.set_trace(trace);
+    }
+
+    fn health_probe(&self) -> HealthProbe {
+        // OPT keeps no ring and its link set carries no age, so the
+        // structure fields that do not apply stay `None`.
+        let graph = self.overlay_graph();
+        let engine = &self.engine;
+        let (clusters, largest) =
+            cluster_probe(&graph, &self.workload, |s| engine.is_alive(NodeIdx(s)));
+        HealthProbe {
+            alive: self.engine.alive_count() as u64,
+            mean_degree: self.mean_degree(),
+            ring_accuracy: None,
+            mean_view_age: None,
+            clusters: Some(clusters),
+            largest_cluster: Some(largest),
+        }
     }
 }
 
@@ -544,6 +609,46 @@ mod tests {
             "unbounded {unbounded} < bounded {bounded}"
         );
         assert!(max_degree > 8, "unbounded degrees should exceed the cap");
+    }
+
+    /// All three systems must report the same observability schema:
+    /// control/data traffic split by message kind, and a health probe.
+    #[test]
+    fn all_systems_separate_control_and_data_traffic() {
+        fn check(sys: &mut dyn PubSub, name: &str, expect_ring: bool) {
+            sys.run_rounds(30);
+            sys.reset_metrics();
+            for t in 0..10 {
+                sys.publish(TopicId(t));
+            }
+            sys.run_rounds(5);
+            let s = sys.stats();
+            assert!(s.control_sent > 0, "{name}: gossip is control traffic");
+            assert!(s.data_sent > 0, "{name}: notifications are data traffic");
+            assert!(
+                s.traffic_by_kind.iter().any(|k| k.kind == "notification"),
+                "{name}: notification kind must be accounted"
+            );
+            let sum: u64 = s.traffic_by_kind.iter().map(|k| k.sent).sum();
+            assert_eq!(sum, s.control_sent + s.data_sent, "{name}: kinds partition");
+            let probe = sys.health_probe();
+            assert!(probe.alive > 0, "{name}: probe sees the network");
+            assert!(probe.mean_degree > 0.0, "{name}: probe sees links");
+            assert_eq!(
+                probe.ring_accuracy.is_some(),
+                expect_ring,
+                "{name}: ring field presence"
+            );
+            assert!(probe.clusters.unwrap() > 0, "{name}: probe sees clusters");
+        }
+        let params = random_params(120, 12, 4, 47);
+        check(
+            &mut vitis::system::VitisSystem::new(params.clone()),
+            "vitis",
+            true,
+        );
+        check(&mut RvrSystem::new(params.clone()), "rvr", true);
+        check(&mut OptSystem::new(params), "opt", false);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::rc::Rc;
 use vitis_sim::event::NodeIdx;
 use vitis_sim::metrics::Summary;
 use vitis_sim::time::SimTime;
+use vitis_sim::trace::{KindTraffic, TrafficClass};
 
 /// Identifier of a published event within a run.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -89,6 +90,55 @@ pub struct PubSubStats {
     pub max_latency_ticks: u64,
     /// Mean control-plane bytes a node sends per gossip round.
     pub control_bytes_per_round: f64,
+    /// Control-plane messages handed to the network (engine-side count
+    /// over the window, from `Protocol::classify`).
+    pub control_sent: u64,
+    /// Data-plane messages handed to the network over the window.
+    pub data_sent: u64,
+    /// Per-message-kind sent/delivered counts over the window, in
+    /// first-seen order (empty until a system merges its engine ledger
+    /// via [`PubSubStats::with_kind_traffic`]).
+    pub traffic_by_kind: Vec<KindStat>,
+}
+
+/// Sent/delivered counters for one protocol message kind, as surfaced in
+/// [`PubSubStats::traffic_by_kind`]. Owned strings so the snapshot is
+/// self-contained and serializable.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStat {
+    /// Message-kind name (e.g. `"rt_req"`, `"notification"`).
+    pub kind: String,
+    /// `"control"` or `"data"`.
+    pub class: String,
+    /// Messages of this kind handed to the network.
+    pub sent: u64,
+    /// Messages of this kind delivered to alive nodes.
+    pub delivered: u64,
+}
+
+impl PubSubStats {
+    /// Merge an engine traffic ledger into this snapshot, filling
+    /// [`PubSubStats::control_sent`], [`PubSubStats::data_sent`] and
+    /// [`PubSubStats::traffic_by_kind`]. Every system calls this in its
+    /// `stats()` so all three report the same schema.
+    pub fn with_kind_traffic(mut self, kinds: &[KindTraffic]) -> Self {
+        self.control_sent = 0;
+        self.data_sent = 0;
+        self.traffic_by_kind.clear();
+        for k in kinds {
+            match k.class {
+                TrafficClass::Control => self.control_sent += k.sent,
+                TrafficClass::Data => self.data_sent += k.sent,
+            }
+            self.traffic_by_kind.push(KindStat {
+                kind: k.kind.to_string(),
+                class: k.class.as_str().to_string(),
+                sent: k.sent,
+                delivered: k.delivered,
+            });
+        }
+        self
+    }
 }
 
 /// Shared monitor handle.
@@ -251,6 +301,9 @@ impl Monitor {
             } else {
                 ctl_bytes as f64 / ctl_rounds as f64
             },
+            control_sent: 0,
+            data_sent: 0,
+            traffic_by_kind: Vec::new(),
         }
     }
 
@@ -398,6 +451,47 @@ mod tests {
         let m2 = m.clone();
         m2.register_event(TopicId(1), SimTime(0), vec![n(0)]);
         assert_eq!(m.snapshot().published, 1);
+    }
+}
+
+#[cfg(test)]
+mod kind_traffic_tests {
+    use super::*;
+    use vitis_sim::trace::MsgTag;
+
+    #[test]
+    fn with_kind_traffic_splits_control_and_data() {
+        let mut ledger = vitis_sim::trace::TrafficLedger::new();
+        for _ in 0..5 {
+            ledger.record_send(MsgTag::control("ps_req"));
+        }
+        for _ in 0..3 {
+            ledger.record_send(MsgTag::data("notification"));
+        }
+        ledger.record_deliver(MsgTag::data("notification"));
+        let s = Monitor::new().snapshot().with_kind_traffic(ledger.kinds());
+        assert_eq!(s.control_sent, 5);
+        assert_eq!(s.data_sent, 3);
+        assert_eq!(s.traffic_by_kind.len(), 2);
+        let notif = s
+            .traffic_by_kind
+            .iter()
+            .find(|k| k.kind == "notification")
+            .unwrap();
+        assert_eq!(notif.class, "data");
+        assert_eq!((notif.sent, notif.delivered), (3, 1));
+    }
+
+    #[test]
+    fn with_kind_traffic_is_idempotent() {
+        let mut ledger = vitis_sim::trace::TrafficLedger::new();
+        ledger.record_send(MsgTag::control("hb"));
+        let s = Monitor::new()
+            .snapshot()
+            .with_kind_traffic(ledger.kinds())
+            .with_kind_traffic(ledger.kinds());
+        assert_eq!(s.control_sent, 1);
+        assert_eq!(s.traffic_by_kind.len(), 1);
     }
 }
 

@@ -19,7 +19,7 @@ use vitis_overlay::peer_sampling::{Cyclon, Newscast, PeerSampling};
 use vitis_overlay::routing::next_hop;
 use vitis_overlay::rt::{build_exchange_buffer, select_neighbors, HybridRt, RtParams};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::{Context, Protocol, StopReason};
+use vitis_sim::prelude::{Context, MsgTag, Protocol, StopReason};
 use vitis_sim::rng::mix64;
 
 /// State of a reverse link (a neighbor relationship initiated by the peer).
@@ -394,6 +394,19 @@ impl VitisNode {
 
 impl Protocol for VitisNode {
     type Msg = VitisMsg;
+
+    fn classify(msg: &VitisMsg) -> MsgTag {
+        match msg {
+            VitisMsg::PsReq(_) => MsgTag::control("ps_req"),
+            VitisMsg::PsResp(_) => MsgTag::control("ps_resp"),
+            VitisMsg::RtReq(_) => MsgTag::control("rt_req"),
+            VitisMsg::RtResp(_) => MsgTag::control("rt_resp"),
+            VitisMsg::Profile(_) => MsgTag::control("profile"),
+            VitisMsg::RelayRequest { .. } => MsgTag::control("relay_req"),
+            VitisMsg::Notification(_) => MsgTag::data("notification"),
+            VitisMsg::PublishCmd { .. } => MsgTag::data("publish_cmd"),
+        }
+    }
 
     fn on_start(&mut self, ctx: &mut Context<'_, VitisMsg>) {
         self.addr = ctx.self_idx;

@@ -20,6 +20,7 @@ use vitis_sim::event::NodeIdx;
 use vitis_sim::prelude::StopReason;
 use vitis_sim::rng::{domain, stream_rng};
 use vitis_sim::time::{Duration, SimTime};
+use vitis_sim::trace::{HealthProbe, TraceHandle};
 
 /// The uniform driver interface over Vitis, RVR and OPT systems.
 pub trait PubSub {
@@ -58,6 +59,42 @@ pub trait PubSub {
     /// Per-node traffic overhead percentages (Figure 5's distribution),
     /// over nodes that received at least `min_msgs` data-plane messages.
     fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64>;
+
+    /// Install a shared trace into the system's engine; lifecycle and
+    /// message events are recorded into it from now on.
+    fn install_trace(&mut self, trace: TraceHandle);
+
+    /// Sample the overlay's structural health (ring consistency, view
+    /// staleness, subscriber clustering). All three systems fill what
+    /// they can measure; structure-less fields stay `None`.
+    fn health_probe(&self) -> HealthProbe;
+}
+
+/// Subscriber-cluster statistics over up to four evenly spaced sample
+/// topics: `(component count, largest component)`. Shared by the health
+/// probes of all three systems.
+pub fn cluster_probe(
+    graph: &Graph,
+    workload: &Workload,
+    alive: impl Fn(u32) -> bool,
+) -> (u64, u64) {
+    let n = workload.num_topics();
+    let step = (n / 4).max(1);
+    let mut clusters = 0u64;
+    let mut largest = 0u64;
+    for t in (0..n).step_by(step).take(4) {
+        let subs: Vec<u32> = workload
+            .subscribers(TopicId(t as u32))
+            .iter()
+            .copied()
+            .filter(|&s| alive(s))
+            .collect();
+        for c in graph.components_within(&subs) {
+            clusters += 1;
+            largest = largest.max(c.len() as u64);
+        }
+    }
+    (clusters, largest)
 }
 
 /// The network model a system runs over.
@@ -332,11 +369,14 @@ impl PubSub for VitisSystem {
     }
 
     fn stats(&self) -> PubSubStats {
-        self.monitor.snapshot()
+        self.monitor
+            .snapshot()
+            .with_kind_traffic(&self.engine.kind_traffic())
     }
 
     fn reset_metrics(&mut self) {
         self.monitor.reset();
+        self.engine.reset_kind_traffic();
     }
 
     fn now(&self) -> SimTime {
@@ -387,6 +427,30 @@ impl PubSub for VitisSystem {
             .into_iter()
             .map(|(_, pct)| pct)
             .collect()
+    }
+
+    fn install_trace(&mut self, trace: TraceHandle) {
+        self.engine.set_trace(trace);
+    }
+
+    fn health_probe(&self) -> HealthProbe {
+        let (age_sum, entries) = self
+            .engine
+            .alive_nodes()
+            .flat_map(|(_, n)| n.routing_table().iter())
+            .fold((0u64, 0u64), |(s, c), e| (s + u64::from(e.age), c + 1));
+        let graph = self.overlay_graph();
+        let engine = &self.engine;
+        let (clusters, largest) =
+            cluster_probe(&graph, &self.workload, |s| engine.is_alive(NodeIdx(s)));
+        HealthProbe {
+            alive: self.engine.alive_count() as u64,
+            mean_degree: self.mean_degree(),
+            ring_accuracy: Some(self.ring_accuracy()),
+            mean_view_age: (entries > 0).then(|| age_sum as f64 / entries as f64),
+            clusters: Some(clusters),
+            largest_cluster: Some(largest),
+        }
     }
 }
 

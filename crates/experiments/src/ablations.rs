@@ -11,21 +11,25 @@
 //!   delay at the price of fewer friend slots.
 
 use crate::report::{Figure, Series};
-use crate::runner::{measure, synthetic_params, with_cfg, PublishPlan};
+use crate::obs::Obs;
+use crate::runner::{measure_obs, synthetic_params, with_cfg, PublishPlan};
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::system::VitisSystem;
 use vitis_workloads::Correlation;
 
-/// Measure overhead/delay with a config toggle applied.
+/// Measure overhead/delay with a config toggle applied. `label` names the
+/// toggle in the observability run id (`ablations/<label>#N`).
 fn toggled_run(
     scale: &Scale,
     corr: Correlation,
+    label: &str,
     f: impl FnOnce(&mut vitis::config::VitisConfig),
 ) -> (f64, f64, f64) {
+    let ctx = Obs::global().start("ablations", label);
     let params = with_cfg(synthetic_params(scale, corr), f);
     let mut sys = VitisSystem::new(params);
-    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    let s = measure_obs(&mut sys, scale, PublishPlan::RoundRobin, ctx);
     (s.overhead_pct, s.mean_hops, s.hit_ratio)
 }
 
@@ -36,7 +40,9 @@ pub fn gateway_election(scale: &Scale) -> Figure {
         .map(|&on| {
             (
                 on,
-                toggled_run(scale, Correlation::High, |c| c.gateway_election = on),
+                toggled_run(scale, Correlation::High, &format!("gateway-{on}"), |c| {
+                    c.gateway_election = on
+                }),
             )
         })
         .collect();
@@ -66,7 +72,9 @@ pub fn utility_selection(scale: &Scale) -> Figure {
         .map(|&on| {
             (
                 on,
-                toggled_run(scale, Correlation::High, |c| c.utility_selection = on),
+                toggled_run(scale, Correlation::High, &format!("utility-{on}"), |c| {
+                    c.utility_selection = on
+                }),
             )
         })
         .collect();
@@ -97,7 +105,7 @@ pub fn sw_links(scale: &Scale) -> Figure {
         .map(|&k| {
             (
                 k,
-                toggled_run(scale, Correlation::Random, |c| c.k_sw = k),
+                toggled_run(scale, Correlation::Random, &format!("sw{k}"), |c| c.k_sw = k),
             )
         })
         .collect();
@@ -136,8 +144,9 @@ mod tests {
     #[test]
     fn gateway_election_cuts_overhead() {
         let sc = sc();
-        let (on, _, hit_on) = toggled_run(&sc, Correlation::High, |c| c.gateway_election = true);
-        let (off, _, _) = toggled_run(&sc, Correlation::High, |c| c.gateway_election = false);
+        let (on, _, hit_on) =
+            toggled_run(&sc, Correlation::High, "t", |c| c.gateway_election = true);
+        let (off, _, _) = toggled_run(&sc, Correlation::High, "t", |c| c.gateway_election = false);
         assert!(hit_on > 0.9);
         assert!(
             on <= off + 1.0,
@@ -148,8 +157,8 @@ mod tests {
     #[test]
     fn utility_selection_is_what_creates_clusters() {
         let sc = sc();
-        let (on, _, _) = toggled_run(&sc, Correlation::High, |c| c.utility_selection = true);
-        let (off, _, _) = toggled_run(&sc, Correlation::High, |c| c.utility_selection = false);
+        let (on, _, _) = toggled_run(&sc, Correlation::High, "t", |c| c.utility_selection = true);
+        let (off, _, _) = toggled_run(&sc, Correlation::High, "t", |c| c.utility_selection = false);
         assert!(
             on < off,
             "utility ranking must cut overhead: on {on}% vs off {off}%"

@@ -6,6 +6,7 @@
 //! makes those sketches measurable: clusters per topic, cluster sizes,
 //! gateways per topic and relay-path footprint, across correlation levels.
 
+use crate::obs::Obs;
 use crate::report::Figure;
 use crate::runner::synthetic_params;
 use crate::scale::Scale;
@@ -31,8 +32,14 @@ pub struct ClusterStats {
 
 /// Measure cluster structure after convergence at a correlation level.
 pub fn cluster_stats(scale: &Scale, corr: Correlation) -> ClusterStats {
+    let mut ctx = Obs::global().start("clusters", corr.slug());
     let mut sys = VitisSystem::new(synthetic_params(scale, corr));
+    ctx.phase("build");
+    ctx.install_trace(&mut sys);
     sys.run_rounds(scale.warmup_rounds);
+    ctx.phase("warmup");
+    ctx.sample(scale.warmup_rounds, &sys);
+    ctx.finish(scale, &sys.stats());
     let mut clusters = Summary::new();
     let mut largest = Summary::new();
     let mut gateways = Summary::new();

@@ -9,7 +9,8 @@
 
 use crate::fig8_9::sampled_trace;
 use crate::report::{Figure, Series};
-use crate::runner::{measure, params_from_subs, with_cfg, PublishPlan};
+use crate::obs::Obs;
+use crate::runner::{measure_obs, params_from_subs, with_cfg, PublishPlan};
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::system::{SystemParams, VitisSystem};
@@ -76,18 +77,24 @@ pub fn point(scale: &Scale, kind: SystemKind, rt_size: usize) -> Point {
     // Topics = nodes here, so cap the event batch at the population.
     scale.topics = params.num_topics;
     scale.events = scale.events.min(params.num_topics);
+    let label = match kind {
+        SystemKind::Vitis => "vitis",
+        SystemKind::Rvr => "rvr",
+        SystemKind::Opt => "opt",
+    };
+    let ctx = Obs::global().start("fig10", &format!("{label}-rt{rt_size}"));
     let stats = match kind {
         SystemKind::Vitis => {
             let mut sys = VitisSystem::new(params);
-            measure(&mut sys, &scale, PublishPlan::RoundRobin)
+            measure_obs(&mut sys, &scale, PublishPlan::RoundRobin, ctx)
         }
         SystemKind::Rvr => {
             let mut sys = RvrSystem::new(params);
-            measure(&mut sys, &scale, PublishPlan::RoundRobin)
+            measure_obs(&mut sys, &scale, PublishPlan::RoundRobin, ctx)
         }
         SystemKind::Opt => {
             let mut sys = OptSystem::new(params);
-            measure(&mut sys, &scale, PublishPlan::RoundRobin)
+            measure_obs(&mut sys, &scale, PublishPlan::RoundRobin, ctx)
         }
     };
     Point {

@@ -6,6 +6,7 @@
 //! max 708 in the paper's run).
 
 use crate::fig10::twitter_params;
+use crate::obs::Obs;
 use crate::report::{Figure, Series};
 use crate::scale::Scale;
 use vitis::system::PubSub;
@@ -25,6 +26,7 @@ pub struct DegreeStats {
 /// Run unbounded OPT on the Twitter sample until link churn settles, then
 /// snapshot the degree distribution.
 pub fn degree_stats(scale: &Scale) -> DegreeStats {
+    let mut ctx = Obs::global().start("fig11", "opt-unbounded");
     let params = twitter_params(scale);
     let mut sys = OptSystem::with_config(
         params,
@@ -33,7 +35,13 @@ pub fn degree_stats(scale: &Scale) -> DegreeStats {
             ..OptConfig::default()
         },
     );
+    ctx.phase("build");
+    ctx.install_trace(&mut sys);
     sys.run_rounds(scale.warmup_rounds);
+    ctx.phase("warmup");
+    ctx.sample(scale.warmup_rounds, &sys);
+    let stats = sys.stats();
+    ctx.finish(scale, &stats);
     let degrees = sys.degree_distribution();
     let n = degrees.len().max(1) as f64;
     let frac_above_15 = degrees.iter().filter(|&&d| d > 15).count() as f64 / n;

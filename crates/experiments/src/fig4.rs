@@ -8,7 +8,8 @@
 //! flat reference line.
 
 use crate::report::{Figure, Series};
-use crate::runner::{measure, synthetic_params, with_cfg, PublishPlan};
+use crate::obs::Obs;
+use crate::runner::{measure_obs, synthetic_params, with_cfg, PublishPlan};
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::system::VitisSystem;
@@ -108,11 +109,12 @@ pub fn run(scale: &Scale) -> (Figure, Figure) {
 
 /// Measure a single Vitis configuration of the sweep.
 pub fn vitis_point(scale: &Scale, corr: Correlation, friends: usize) -> Point {
+    let ctx = Obs::global().start("fig4", &format!("vitis-{}-f{friends}", corr.slug()));
     let params = with_cfg(synthetic_params(scale, corr), |c| {
         *c = c.clone().with_friends(friends);
     });
     let mut sys = VitisSystem::new(params);
-    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    let s = measure_obs(&mut sys, scale, PublishPlan::RoundRobin, ctx);
     Point {
         x: friends as f64,
         overhead: s.overhead_pct,
@@ -123,8 +125,9 @@ pub fn vitis_point(scale: &Scale, corr: Correlation, friends: usize) -> Point {
 
 /// Measure the RVR reference point.
 pub fn rvr_point(scale: &Scale) -> Point {
+    let ctx = Obs::global().start("fig4", "rvr");
     let mut sys = RvrSystem::new(synthetic_params(scale, Correlation::Random));
-    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    let s = measure_obs(&mut sys, scale, PublishPlan::RoundRobin, ctx);
     Point {
         x: 0.0,
         overhead: s.overhead_pct,
@@ -139,7 +142,11 @@ mod tests {
 
     /// The headline trend at smoke scale: more friends => less overhead,
     /// and Vitis at full friends beats RVR.
+    // Tracking: slowest single test in the experiments crate; the trend it
+    // checks is also covered by tests/end_to_end.rs (correlation_reduces_
+    // vitis_overhead) on every run.
     #[test]
+    #[ignore = "slow (~13 s at quick scale): four full measurement runs; run with `cargo test -- --ignored`"]
     fn overhead_falls_with_friends_and_beats_rvr() {
         let mut sc = Scale::quick();
         sc.warmup_rounds = 45;

@@ -6,7 +6,8 @@
 //! fraction above 20 % overhead to less than a third of RVR's.
 
 use crate::report::{Figure, Series};
-use crate::runner::{measure, synthetic_params, PublishPlan};
+use crate::obs::Obs;
+use crate::runner::{measure_obs, synthetic_params, PublishPlan};
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::system::{PubSub, VitisSystem};
@@ -77,14 +78,16 @@ pub fn run(scale: &Scale) -> Figure {
 
 /// Per-node overhead percentages for one system/pattern.
 pub fn per_node_overhead(scale: &Scale, vitis: bool, corr: Correlation) -> Vec<f64> {
+    let sys_name = if vitis { "vitis" } else { "rvr" };
+    let ctx = Obs::global().start("fig5", &format!("{sys_name}-{}", corr.slug()));
     let params = synthetic_params(scale, corr);
     if vitis {
         let mut sys = VitisSystem::new(params);
-        measure(&mut sys, scale, PublishPlan::RoundRobin);
+        measure_obs(&mut sys, scale, PublishPlan::RoundRobin, ctx);
         sys.per_node_overhead(1)
     } else {
         let mut sys = RvrSystem::new(params);
-        measure(&mut sys, scale, PublishPlan::RoundRobin);
+        measure_obs(&mut sys, scale, PublishPlan::RoundRobin, ctx);
         sys.per_node_overhead(1)
     }
 }

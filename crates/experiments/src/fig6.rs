@@ -7,7 +7,8 @@
 //! with random subscriptions overtaking RVR's beyond ~30 entries.
 
 use crate::report::{Figure, Series};
-use crate::runner::{measure, synthetic_params, with_cfg, PublishPlan};
+use crate::obs::Obs;
+use crate::runner::{measure_obs, synthetic_params, with_cfg, PublishPlan};
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::system::VitisSystem;
@@ -33,12 +34,13 @@ pub struct Point {
 /// Measure Vitis at a given table size (k_sw stays 1; extra slots become
 /// friends).
 pub fn vitis_point(scale: &Scale, corr: Correlation, rt_size: usize) -> Point {
+    let ctx = Obs::global().start("fig6", &format!("vitis-{}-rt{rt_size}", corr.slug()));
     let params = with_cfg(synthetic_params(scale, corr), |c| {
         c.rt_size = rt_size;
         c.k_sw = 1;
     });
     let mut sys = VitisSystem::new(params);
-    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    let s = measure_obs(&mut sys, scale, PublishPlan::RoundRobin, ctx);
     Point {
         rt_size,
         overhead: s.overhead_pct,
@@ -49,11 +51,12 @@ pub fn vitis_point(scale: &Scale, corr: Correlation, rt_size: usize) -> Point {
 
 /// Measure RVR at a given table size (all extra slots are sw links).
 pub fn rvr_point(scale: &Scale, rt_size: usize) -> Point {
+    let ctx = Obs::global().start("fig6", &format!("rvr-rt{rt_size}"));
     let params = with_cfg(synthetic_params(scale, Correlation::Random), |c| {
         c.rt_size = rt_size;
     });
     let mut sys = RvrSystem::new(params);
-    let s = measure(&mut sys, scale, PublishPlan::RoundRobin);
+    let s = measure_obs(&mut sys, scale, PublishPlan::RoundRobin, ctx);
     Point {
         rt_size,
         overhead: s.overhead_pct,

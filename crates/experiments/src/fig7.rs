@@ -7,7 +7,8 @@
 //! the actual workload.
 
 use crate::report::{Figure, Series};
-use crate::runner::{measure, synthetic_params, with_rates, PublishPlan};
+use crate::obs::Obs;
+use crate::runner::{measure_obs, synthetic_params, with_rates, PublishPlan};
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::system::VitisSystem;
@@ -32,10 +33,11 @@ pub struct Point {
 
 /// Measure Vitis under rate skew α.
 pub fn vitis_point(scale: &Scale, corr: Correlation, alpha: f64) -> Point {
+    let ctx = Obs::global().start("fig7", &format!("vitis-{}-a{alpha}", corr.slug()));
     let rates = powerlaw_rates(scale.topics, alpha, scale.seed);
     let params = with_rates(synthetic_params(scale, corr), rates);
     let mut sys = VitisSystem::new(params);
-    let s = measure(&mut sys, scale, PublishPlan::RateWeighted);
+    let s = measure_obs(&mut sys, scale, PublishPlan::RateWeighted, ctx);
     Point {
         alpha,
         overhead: s.overhead_pct,
@@ -47,10 +49,11 @@ pub fn vitis_point(scale: &Scale, corr: Correlation, alpha: f64) -> Point {
 /// Measure RVR under rate skew α (subscription-oblivious, so rates only
 /// change which topics carry the events).
 pub fn rvr_point(scale: &Scale, alpha: f64) -> Point {
+    let ctx = Obs::global().start("fig7", &format!("rvr-a{alpha}"));
     let rates = powerlaw_rates(scale.topics, alpha, scale.seed);
     let params = with_rates(synthetic_params(scale, Correlation::Random), rates);
     let mut sys = RvrSystem::new(params);
-    let s = measure(&mut sys, scale, PublishPlan::RateWeighted);
+    let s = measure_obs(&mut sys, scale, PublishPlan::RateWeighted, ctx);
     Point {
         alpha,
         overhead: s.overhead_pct,

@@ -4,7 +4,8 @@
 //! it shows the paper-shape orderings are stable, not seed luck.
 
 use crate::report::Figure;
-use crate::runner::{measure, synthetic_params, PublishPlan};
+use crate::obs::Obs;
+use crate::runner::{measure_obs, synthetic_params, PublishPlan};
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::monitor::PubSubStats;
@@ -76,19 +77,26 @@ pub fn cell(scale: &Scale, sys: Sys, corr: Correlation, replicas: usize) -> Cell
         .map(|r| {
             let mut sc = *scale;
             sc.seed = scale.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9));
+            let label = match sys {
+                Sys::Vitis => "vitis",
+                Sys::Rvr => "rvr",
+                Sys::Opt => "opt",
+            };
+            let ctx =
+                Obs::global().start("headline", &format!("{label}-{}-r{r}", corr.slug()));
             let params = synthetic_params(&sc, corr);
             match sys {
                 Sys::Vitis => {
                     let mut s = VitisSystem::new(params);
-                    measure(&mut s, &sc, PublishPlan::RoundRobin)
+                    measure_obs(&mut s, &sc, PublishPlan::RoundRobin, ctx)
                 }
                 Sys::Rvr => {
                     let mut s = RvrSystem::new(params);
-                    measure(&mut s, &sc, PublishPlan::RoundRobin)
+                    measure_obs(&mut s, &sc, PublishPlan::RoundRobin, ctx)
                 }
                 Sys::Opt => {
                     let mut s = OptSystem::new(params);
-                    measure(&mut s, &sc, PublishPlan::RoundRobin)
+                    measure_obs(&mut s, &sc, PublishPlan::RoundRobin, ctx)
                 }
             }
         })

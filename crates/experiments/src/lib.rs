@@ -35,6 +35,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8_9;
+pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod scale;

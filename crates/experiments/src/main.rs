@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! vitis-experiments [FIGURES] [--nodes N] [--seed S] [--paper | --quick]
+//!                   [--metrics-out FILE] [--trace-out FILE]
 //!
 //! FIGURES: any of fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          ablations, or "all" (default)
 //! ```
+//!
+//! `--metrics-out` writes one JSONL record per measurement run (phase
+//! timers, final stats with the per-kind traffic split, per-round
+//! convergence samples); `--trace-out` writes the per-run event traces
+//! (round boundaries, churn, messages, health probes). Both schemas are
+//! documented in `docs/METRICS.md`.
 
 use std::process::ExitCode;
+use vitis_experiments::obs::Obs;
 use vitis_experiments::{ablations, clusters, headline, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8_9, Scale};
 
 fn main() -> ExitCode {
@@ -17,6 +25,8 @@ fn main() -> ExitCode {
     let mut seed: u64 = 42;
     let mut replicas: usize = 5;
     let mut preset: Option<&str> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -33,6 +43,14 @@ fn main() -> ExitCode {
                 Some(r) => replicas = r,
                 None => return usage("--replicas needs an integer"),
             },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p.clone()),
+                None => return usage("--metrics-out needs a file path"),
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => return usage("--trace-out needs a file path"),
+            },
             "--paper" => preset = Some("paper"),
             "--quick" => preset = Some("quick"),
             "--help" | "-h" => return usage(""),
@@ -45,6 +63,7 @@ fn main() -> ExitCode {
     if figures.is_empty() {
         figures.push("all".to_string());
     }
+    Obs::global().enable(metrics_out.is_some(), trace_out.is_some());
 
     let mut scale = match preset {
         Some("paper") => Scale::paper(),
@@ -107,7 +126,31 @@ fn main() -> ExitCode {
         println!("{}", ablations::utility_selection(&scale).render());
         println!("{}", ablations::sw_links(&scale).render());
     }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = write_jsonl(path, Obs::global().take_metrics()) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote metrics records to {path}");
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = write_jsonl(path, Obs::global().take_trace()) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote event trace to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+fn write_jsonl(path: &str, lines: Vec<String>) -> std::io::Result<()> {
+    use std::io::Write;
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for line in lines {
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -116,7 +159,8 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: vitis-experiments [fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 clusters headline ablations | all]\n\
-         \t[--nodes N] [--seed S] [--replicas R] [--paper | --quick]"
+         \t[--nodes N] [--seed S] [--replicas R] [--paper | --quick]\n\
+         \t[--metrics-out FILE.jsonl] [--trace-out FILE.jsonl]   (schema: docs/METRICS.md)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

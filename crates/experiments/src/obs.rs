@@ -1,0 +1,382 @@
+//! Process-wide observability sinks for experiment runs.
+//!
+//! The CLI enables the global [`Obs`] once (from `--metrics-out` /
+//! `--trace-out`); every figure runner then labels its measurement runs
+//! through [`Obs::start`], and [`crate::runner::measure_obs`] records
+//! per-run phase timers, a per-round convergence time series, overlay
+//! health probes and the final [`PubSubStats`] into JSONL sinks. Sweep
+//! points run on Rayon workers, so the sinks hold pre-rendered lines
+//! behind mutexes; when disabled (the default, and always in unit tests)
+//! every recording call is a cheap no-op.
+//!
+//! The schema of both sinks is documented in `docs/METRICS.md`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use vitis::monitor::PubSubStats;
+use vitis_sim::trace::{push_f64, push_json_str, HealthProbe, Trace, TraceEvent, TraceHandle};
+
+/// Ring-buffer capacity of the per-run event trace. Old events are
+/// evicted (and counted) beyond this; the `trace_meta` record reports
+/// how many.
+pub const TRACE_CAPACITY: usize = 65_536;
+
+/// One per-round convergence sample taken during the measure/drain
+/// phases (the `samples` array of a metrics record).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundSample {
+    /// Rounds since measurement started (1-based).
+    pub round: u64,
+    /// Simulation time of the sample.
+    pub now: u64,
+    /// Hit ratio so far in the window.
+    pub hit_ratio: f64,
+    /// Traffic overhead percent so far in the window.
+    pub overhead_pct: f64,
+    /// Deliveries achieved so far.
+    pub delivered: u64,
+    /// Deliveries expected so far.
+    pub expected: u64,
+}
+
+/// The global observability switchboard: two JSONL sinks plus on/off
+/// flags, shared by every figure runner in the process.
+pub struct Obs {
+    metrics_on: AtomicBool,
+    trace_on: AtomicBool,
+    run_counter: AtomicU64,
+    metrics_lines: Mutex<Vec<String>>,
+    trace_lines: Mutex<Vec<String>>,
+}
+
+static GLOBAL: Obs = Obs {
+    metrics_on: AtomicBool::new(false),
+    trace_on: AtomicBool::new(false),
+    run_counter: AtomicU64::new(0),
+    metrics_lines: Mutex::new(Vec::new()),
+    trace_lines: Mutex::new(Vec::new()),
+};
+
+impl Obs {
+    /// The process-wide instance. Disabled until [`Obs::enable`] is
+    /// called, so library users and tests pay nothing.
+    pub fn global() -> &'static Obs {
+        &GLOBAL
+    }
+
+    /// Turn the sinks on (idempotent; the CLI calls this once).
+    pub fn enable(&self, metrics: bool, trace: bool) {
+        self.metrics_on.store(metrics, Ordering::Relaxed);
+        self.trace_on.store(trace, Ordering::Relaxed);
+    }
+
+    /// Whether per-run metrics records are being collected.
+    pub fn metrics_on(&self) -> bool {
+        self.metrics_on.load(Ordering::Relaxed)
+    }
+
+    /// Whether per-run event traces are being collected.
+    pub fn trace_on(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// Open a labelled run scope. `figure` names the experiment module
+    /// (`"fig6"`), `label` the sweep point (`"vitis-low-rt25"`); the
+    /// returned context stamps every record with a unique
+    /// `figure/label#N` run id.
+    pub fn start(&'static self, figure: &str, label: &str) -> RunCtx {
+        let n = self.run_counter.fetch_add(1, Ordering::Relaxed);
+        RunCtx {
+            obs: self,
+            run: format!("{figure}/{label}#{n}"),
+            last_phase: Instant::now(),
+            phases: Vec::new(),
+            samples: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Drain the metrics sink (one JSONL line per finished run).
+    pub fn take_metrics(&self) -> Vec<String> {
+        std::mem::take(&mut self.metrics_lines.lock().expect("obs lock"))
+    }
+
+    /// Drain the trace sink (one JSONL line per trace event, each
+    /// stamped with its run id).
+    pub fn take_trace(&self) -> Vec<String> {
+        std::mem::take(&mut self.trace_lines.lock().expect("obs lock"))
+    }
+}
+
+/// The per-run recording scope handed to [`crate::runner::measure_obs`].
+/// Created by [`Obs::start`]; lives on one Rayon worker for the duration
+/// of a single sweep point.
+pub struct RunCtx {
+    obs: &'static Obs,
+    /// Unique run id (`figure/label#N`) stamped on every record.
+    pub run: String,
+    last_phase: Instant,
+    phases: Vec<(&'static str, f64)>,
+    samples: Vec<RoundSample>,
+    trace: Option<TraceHandle>,
+}
+
+impl RunCtx {
+    /// True when nothing is being collected; recording calls no-op.
+    pub fn disabled(&self) -> bool {
+        !self.obs.metrics_on() && !self.obs.trace_on()
+    }
+
+    /// Install a fresh event trace into `sys` (no-op unless `--trace-out`
+    /// is active). Returns the handle for callers that want to inspect it.
+    pub fn install_trace(&mut self, sys: &mut dyn vitis::system::PubSub) -> Option<TraceHandle> {
+        if !self.obs.trace_on() {
+            return None;
+        }
+        let handle = Trace::shared(TRACE_CAPACITY);
+        sys.install_trace(handle.clone());
+        self.trace = Some(handle.clone());
+        Some(handle)
+    }
+
+    /// Close the current wall-clock phase under `name` (milliseconds
+    /// since the previous phase boundary, or since [`Obs::start`]).
+    pub fn phase(&mut self, name: &'static str) {
+        let elapsed = self.last_phase.elapsed().as_secs_f64() * 1e3;
+        self.last_phase = Instant::now();
+        if self.disabled() {
+            return;
+        }
+        self.phases.push((name, elapsed));
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(TraceEvent::Phase {
+                name: name.into(),
+                wall_ms: elapsed,
+            });
+        }
+    }
+
+    /// Record one per-round convergence sample (and mirror it, plus a
+    /// round boundary and a health probe, into the event trace).
+    pub fn sample(&mut self, round: u64, sys: &dyn vitis::system::PubSub) {
+        if self.disabled() {
+            return;
+        }
+        let stats = sys.stats();
+        let now = sys.now().0;
+        let s = RoundSample {
+            round,
+            now,
+            hit_ratio: stats.hit_ratio,
+            overhead_pct: stats.overhead_pct,
+            delivered: stats.delivered,
+            expected: stats.expected,
+        };
+        self.samples.push(s);
+        if let Some(t) = &self.trace {
+            let probe = sys.health_probe();
+            let mut t = t.borrow_mut();
+            t.record(TraceEvent::Round {
+                round,
+                now,
+                alive: probe.alive,
+            });
+            t.record(TraceEvent::Sample {
+                round,
+                now,
+                hit_ratio: s.hit_ratio,
+                overhead_pct: s.overhead_pct,
+                delivered: s.delivered,
+                expected: s.expected,
+            });
+            t.record(TraceEvent::Health { now, probe });
+        }
+    }
+
+    /// Render and submit this run's records to the global sinks. Called
+    /// once at the end of [`crate::runner::measure_obs`].
+    pub fn finish(self, scale: &crate::scale::Scale, stats: &PubSubStats) {
+        if self.obs.metrics_on() {
+            let line = render_metrics_line(&self.run, scale, &self.phases, &self.samples, stats);
+            self.obs.metrics_lines.lock().expect("obs lock").push(line);
+        }
+        if let Some(t) = &self.trace {
+            let t = t.borrow();
+            let mut lines = self.obs.trace_lines.lock().expect("obs lock");
+            lines.push(trace_meta_line(&self.run, &t));
+            for ev in t.events() {
+                lines.push(stamp_run(&self.run, &vitis_sim::trace::event_to_json(ev)));
+            }
+        }
+    }
+}
+
+/// Prefix a rendered trace-event object with a `"run"` field.
+fn stamp_run(run: &str, event_json: &str) -> String {
+    let mut out = String::with_capacity(event_json.len() + run.len() + 10);
+    out.push_str("{\"run\":");
+    push_json_str(&mut out, run);
+    out.push(',');
+    out.push_str(&event_json[1..]);
+    out
+}
+
+/// The `trace_meta` record heading a run's trace: capacity and how many
+/// events the ring buffer evicted (0 means the trace is complete).
+fn trace_meta_line(run: &str, t: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("{\"run\":");
+    push_json_str(&mut out, run);
+    out.push_str(&format!(
+        ",\"type\":\"trace_meta\",\"capacity\":{},\"recorded\":{},\"evicted\":{}}}",
+        t.capacity(),
+        t.total_recorded(),
+        t.evicted()
+    ));
+    out
+}
+
+fn render_metrics_line(
+    run: &str,
+    scale: &crate::scale::Scale,
+    phases: &[(&'static str, f64)],
+    samples: &[RoundSample],
+    stats: &PubSubStats,
+) -> String {
+    let mut o = String::with_capacity(512);
+    o.push_str("{\"type\":\"run\",\"run\":");
+    push_json_str(&mut o, run);
+    o.push_str(&format!(
+        ",\"nodes\":{},\"topics\":{},\"seed\":{}",
+        scale.nodes, scale.topics, scale.seed
+    ));
+    o.push_str(",\"phase_ms\":{");
+    for (i, (name, ms)) in phases.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        push_json_str(&mut o, name);
+        o.push(':');
+        push_f64(&mut o, *ms);
+    }
+    o.push_str("},\"stats\":{");
+    o.push_str(&format!(
+        "\"published\":{},\"expected\":{},\"delivered\":{},",
+        stats.published, stats.expected, stats.delivered
+    ));
+    o.push_str("\"hit_ratio\":");
+    push_f64(&mut o, stats.hit_ratio);
+    o.push_str(",\"mean_hops\":");
+    push_f64(&mut o, stats.mean_hops);
+    o.push_str(&format!(",\"max_hops\":{},", stats.max_hops));
+    o.push_str(&format!(
+        "\"useful_msgs\":{},\"relay_msgs\":{},",
+        stats.useful_msgs, stats.relay_msgs
+    ));
+    o.push_str("\"overhead_pct\":");
+    push_f64(&mut o, stats.overhead_pct);
+    o.push_str(",\"mean_latency_ticks\":");
+    push_f64(&mut o, stats.mean_latency_ticks);
+    o.push_str(&format!(",\"max_latency_ticks\":{},", stats.max_latency_ticks));
+    o.push_str("\"control_bytes_per_round\":");
+    push_f64(&mut o, stats.control_bytes_per_round);
+    o.push_str(&format!(
+        ",\"control_sent\":{},\"data_sent\":{},",
+        stats.control_sent, stats.data_sent
+    ));
+    o.push_str("\"traffic_by_kind\":[");
+    for (i, k) in stats.traffic_by_kind.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"kind\":");
+        push_json_str(&mut o, &k.kind);
+        o.push_str(",\"class\":");
+        push_json_str(&mut o, &k.class);
+        o.push_str(&format!(",\"sent\":{},\"delivered\":{}}}", k.sent, k.delivered));
+    }
+    o.push_str("]},\"samples\":[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!("{{\"round\":{},\"now\":{},", s.round, s.now));
+        o.push_str("\"hit_ratio\":");
+        push_f64(&mut o, s.hit_ratio);
+        o.push_str(",\"overhead_pct\":");
+        push_f64(&mut o, s.overhead_pct);
+        o.push_str(&format!(
+            ",\"delivered\":{},\"expected\":{}}}",
+            s.delivered, s.expected
+        ));
+    }
+    o.push_str("]}");
+    o
+}
+
+/// Render a final health probe as its own JSONL record (used by the CLI
+/// after a figure completes, outside any run scope).
+pub fn health_line(run: &str, now: u64, probe: &HealthProbe) -> String {
+    stamp_run(
+        run,
+        &vitis_sim::trace::event_to_json(&TraceEvent::Health { now, probe: *probe }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_run_produces_valid_prefixed_object() {
+        let ev = TraceEvent::Round {
+            round: 3,
+            now: 90,
+            alive: 10,
+        };
+        let line = stamp_run("fig6/vitis#0", &vitis_sim::trace::event_to_json(&ev));
+        assert!(line.starts_with("{\"run\":\"fig6/vitis#0\","));
+        // The run field is extra; the trace parser must still accept it.
+        assert_eq!(vitis_sim::trace::parse_event(&line), Some(ev));
+    }
+
+    #[test]
+    fn metrics_line_is_well_formed() {
+        let scale = crate::scale::Scale::quick();
+        let stats = PubSubStats {
+            hit_ratio: f64::NAN, // must render as null, not break JSON
+            ..PubSubStats::default()
+        };
+        let line = render_metrics_line(
+            "t/x#1",
+            &scale,
+            &[("build", 1.5), ("measure", 2.0)],
+            &[RoundSample {
+                round: 1,
+                now: 30,
+                hit_ratio: 0.5,
+                overhead_pct: 10.0,
+                delivered: 5,
+                expected: 10,
+            }],
+            &stats,
+        );
+        assert!(line.contains("\"phase_ms\":{\"build\":1.5,\"measure\":2}"));
+        assert!(line.contains("\"hit_ratio\":null"));
+        assert!(line.contains("\"samples\":[{\"round\":1,"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn disabled_ctx_records_nothing() {
+        // The global obs is off in tests, so a run scope is inert.
+        let mut ctx = Obs::global().start("test", "noop");
+        assert!(ctx.disabled());
+        ctx.phase("build");
+        let stats = PubSubStats::default();
+        ctx.finish(&crate::scale::Scale::quick(), &stats);
+        assert!(Obs::global().take_metrics().is_empty());
+        assert!(Obs::global().take_trace().is_empty());
+    }
+}

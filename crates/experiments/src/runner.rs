@@ -1,6 +1,7 @@
 //! The common measurement driver: build a system, warm it up, publish a
 //! measured batch of events, let dissemination drain, and collect stats.
 
+use crate::obs::{Obs, RunCtx};
 use crate::scale::Scale;
 use vitis::config::VitisConfig;
 use vitis::monitor::PubSubStats;
@@ -56,13 +57,35 @@ pub fn with_cfg(mut p: SystemParams, f: impl FnOnce(&mut VitisConfig)) -> System
 /// Warm up, publish the measured batch, drain, and return the stats.
 ///
 /// Events are published in ten spaced chunks so dissemination load overlaps
-/// rounds realistically instead of arriving as a single burst.
+/// rounds realistically instead of arriving as a single burst. Records into
+/// an anonymous run scope; figure runners label theirs via [`measure_obs`].
 pub fn measure(sys: &mut dyn PubSub, scale: &Scale, plan: PublishPlan) -> PubSubStats {
+    let ctx = Obs::global().start("run", "measure");
+    measure_obs(sys, scale, plan, ctx)
+}
+
+/// [`measure`] with an explicit run scope: phase wall-clock timers
+/// (build/warmup/measure/drain), one convergence sample per measured
+/// round, per-round health probes into the event trace when enabled, and
+/// the final stats record — all submitted to the global [`Obs`] sinks.
+///
+/// Create `ctx` with `Obs::global().start(figure, label)` *before*
+/// building the system so the "build" phase timer covers construction.
+pub fn measure_obs(
+    sys: &mut dyn PubSub,
+    scale: &Scale,
+    plan: PublishPlan,
+    mut ctx: RunCtx,
+) -> PubSubStats {
+    ctx.phase("build");
+    ctx.install_trace(sys);
     sys.run_rounds(scale.warmup_rounds);
+    ctx.phase("warmup");
     sys.reset_metrics();
     let chunk = (scale.events / 10).max(1);
     let mut published = 0usize;
     let mut topic_cursor = 0u32;
+    let mut round = 0u64;
     while published < scale.events {
         for _ in 0..chunk.min(scale.events - published) {
             match plan {
@@ -77,9 +100,19 @@ pub fn measure(sys: &mut dyn PubSub, scale: &Scale, plan: PublishPlan) -> PubSub
             published += 1;
         }
         sys.run_rounds(1);
+        round += 1;
+        ctx.sample(round, &*sys);
     }
-    sys.run_rounds(scale.drain_rounds);
-    sys.stats()
+    ctx.phase("measure");
+    for _ in 0..scale.drain_rounds {
+        sys.run_rounds(1);
+        round += 1;
+        ctx.sample(round, &*sys);
+    }
+    ctx.phase("drain");
+    let stats = sys.stats();
+    ctx.finish(scale, &stats);
+    stats
 }
 
 #[cfg(test)]

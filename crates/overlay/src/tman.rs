@@ -1,4 +1,4 @@
-//! Generic T-Man topology construction (Jelasity & Babaoglu [26]).
+//! Generic T-Man topology construction (Jelasity & Babaoglu \[26\]).
 //!
 //! T-Man grows an arbitrary target topology from a gossip process: each
 //! node keeps the `view_size` best-ranked descriptors it has seen, and
@@ -129,7 +129,7 @@ mod tests {
         // Bootstrap: a random topology, as in the original T-Man
         // experiments.
         let mut rng = SmallRng::seed_from_u64(7);
-        for i in 0..n as usize {
+        for (i, node) in nodes.iter_mut().enumerate() {
             let contacts: Vec<Entry<()>> = (0..3)
                 .map(|_| {
                     let j = rng.gen_range(0..n);
@@ -137,7 +137,7 @@ mod tests {
                 })
                 .filter(|e| e.addr.0 != i as u32)
                 .collect();
-            nodes[i].bootstrap(&contacts, &rank);
+            node.bootstrap(&contacts, &rank);
         }
         for _ in 0..rounds {
             for i in 0..n as usize {

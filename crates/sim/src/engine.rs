@@ -16,6 +16,7 @@ use crate::network::{ConstantLatency, NetworkModel};
 use crate::protocol::{Context, Effect, Protocol, StopReason};
 use crate::rng;
 use crate::time::{Duration, SimTime};
+use crate::trace::{KindTraffic, TraceEvent, TraceHandle, TrafficLedger};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -91,6 +92,8 @@ pub struct Engine<P: Protocol, N: NetworkModel = ConstantLatency> {
     engine_rng: SmallRng,
     stats: EngineStats,
     effects_buf: Vec<Effect<P::Msg>>,
+    ledger: TrafficLedger,
+    trace: Option<TraceHandle>,
 }
 
 impl<P: Protocol> Engine<P, ConstantLatency> {
@@ -113,6 +116,59 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
             engine_rng,
             stats: EngineStats::default(),
             effects_buf: Vec::new(),
+            ledger: TrafficLedger::new(),
+            trace: None,
+        }
+    }
+
+    /// Install a shared trace; the engine records lifecycle and message
+    /// events into it from now on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Stop recording into the installed trace, if any.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// A clone of the installed trace handle, if any.
+    pub fn trace_handle(&self) -> Option<TraceHandle> {
+        self.trace.clone()
+    }
+
+    /// Per-message-kind sent/delivered counters since the last
+    /// [`Engine::reset_kind_traffic`], as classified by
+    /// [`Protocol::classify`].
+    pub fn kind_traffic(&self) -> Vec<KindTraffic> {
+        self.ledger.kinds().to_vec()
+    }
+
+    /// `(control, data)` messages sent since the last window reset.
+    pub fn sent_by_class(&self) -> (u64, u64) {
+        self.ledger.sent_by_class()
+    }
+
+    /// Zero the per-kind traffic counters (start of a measurement
+    /// window). Aggregate [`EngineStats`] are unaffected.
+    pub fn reset_kind_traffic(&mut self) {
+        self.ledger.reset();
+    }
+
+    #[inline]
+    fn trace_record(&self, ev: TraceEvent) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(ev);
+        }
+    }
+
+    #[inline]
+    fn trace_message(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.trace {
+            let mut t = t.borrow_mut();
+            if t.record_messages() {
+                t.record(make());
+            }
         }
     }
 
@@ -240,6 +296,11 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
             sent: 0,
             received: 0,
         });
+        self.trace_record(TraceEvent::Join {
+            now: self.now.0,
+            node: idx.0,
+            rejoin: false,
+        });
         self.start_node(idx);
         idx
     }
@@ -255,6 +316,11 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
         slot.rng = rng::node_rng(self.cfg.seed, idx.0, slot.incarnation);
         slot.proto = Some(proto);
         slot.joined_at = self.now;
+        self.trace_record(TraceEvent::Join {
+            now: self.now.0,
+            node: idx.0,
+            rejoin: true,
+        });
         self.start_node(idx);
     }
 
@@ -282,6 +348,11 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
         if !self.is_alive(idx) {
             return;
         }
+        self.trace_record(TraceEvent::Leave {
+            now: self.now.0,
+            node: idx.0,
+            crash: reason == StopReason::Crash,
+        });
         self.dispatch(idx, DispatchKind::Stop(reason));
         self.slots[idx.index()].proto = None;
     }
@@ -332,15 +403,25 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
     fn handle_event(&mut self, ev: Ev<P::Msg>) {
         match ev {
             Ev::Deliver { to, from, msg } => {
-                match self.slots.get_mut(to.index()) {
-                    Some(s) if s.proto.is_some() => {
-                        s.received += 1;
-                        self.stats.messages_delivered += 1;
-                        self.dispatch(to, DispatchKind::Message { from, msg });
-                    }
-                    _ => {
-                        self.stats.messages_to_dead += 1;
-                    }
+                let alive = self
+                    .slots
+                    .get(to.index())
+                    .is_some_and(|s| s.proto.is_some());
+                if alive {
+                    self.slots[to.index()].received += 1;
+                    self.stats.messages_delivered += 1;
+                    let tag = P::classify(&msg);
+                    self.ledger.record_deliver(tag);
+                    self.trace_message(|| TraceEvent::MsgDeliver {
+                        now: self.now.0,
+                        from: from.0,
+                        to: to.0,
+                        kind: std::borrow::Cow::Borrowed(tag.kind),
+                        class: tag.class,
+                    });
+                    self.dispatch(to, DispatchKind::Message { from, msg });
+                } else {
+                    self.stats.messages_to_dead += 1;
                 }
             }
             Ev::RoundTick { node, incarnation } => {
@@ -391,6 +472,15 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                 match eff {
                     Effect::Send { to, msg } => {
                         self.stats.messages_sent += 1;
+                        let tag = P::classify(&msg);
+                        self.ledger.record_send(tag);
+                        self.trace_message(|| TraceEvent::MsgSend {
+                            now: self.now.0,
+                            from: idx.0,
+                            to: to.0,
+                            kind: std::borrow::Cow::Borrowed(tag.kind),
+                            class: tag.class,
+                        });
                         if let Some(lat) = self.network.latency(idx, to, &mut self.engine_rng) {
                             self.queue.push(
                                 self.now + lat,
@@ -641,6 +731,109 @@ mod tests {
         let mut eng: Engine<PingPong> = Engine::new(cfg());
         eng.run_until(SimTime(1000));
         assert_eq!(eng.now(), SimTime(1000));
+    }
+
+    #[test]
+    fn kind_traffic_follows_classify() {
+        use crate::trace::{MsgTag, TrafficClass};
+        struct Tagged {
+            peer: Option<NodeIdx>,
+        }
+        impl Protocol for Tagged {
+            type Msg = PpMsg;
+            fn on_start(&mut self, _: &mut Context<'_, PpMsg>) {}
+            fn on_round(&mut self, ctx: &mut Context<'_, PpMsg>) {
+                if let Some(p) = self.peer {
+                    ctx.send(p, PpMsg::Ping(0));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, PpMsg>, from: NodeIdx, msg: PpMsg) {
+                if let PpMsg::Ping(k) = msg {
+                    ctx.send(from, PpMsg::Pong(k));
+                }
+            }
+            fn classify(msg: &PpMsg) -> MsgTag {
+                match msg {
+                    PpMsg::Ping(_) => MsgTag::control("ping"),
+                    PpMsg::Pong(_) => MsgTag::data("pong"),
+                }
+            }
+        }
+        let mut eng: Engine<Tagged> = Engine::new(cfg());
+        let b = NodeIdx(1);
+        eng.add_node(Tagged { peer: Some(b) });
+        eng.add_node(Tagged { peer: None });
+        eng.run_rounds(4);
+        let kinds = eng.kind_traffic();
+        let ping = kinds.iter().find(|k| k.kind == "ping").expect("pings");
+        let pong = kinds.iter().find(|k| k.kind == "pong").expect("pongs");
+        assert_eq!(ping.class, TrafficClass::Control);
+        assert_eq!(pong.class, TrafficClass::Data);
+        assert!(ping.sent >= 3);
+        assert_eq!(ping.sent, pong.sent, "each ping triggers one pong");
+        let total: u64 = kinds.iter().map(|k| k.sent).sum();
+        assert_eq!(total, eng.stats().messages_sent);
+        let (control, data) = eng.sent_by_class();
+        assert_eq!(control, ping.sent);
+        assert_eq!(data, pong.sent);
+        eng.reset_kind_traffic();
+        assert!(eng.kind_traffic().iter().all(|k| k.sent == 0 && k.delivered == 0));
+    }
+
+    #[test]
+    fn trace_records_lifecycle_and_messages() {
+        use crate::trace::{Trace, TraceEvent};
+        let mut eng = Engine::new(cfg());
+        let trace = Trace::shared(4096);
+        eng.set_trace(trace.clone());
+        let b = NodeIdx(1);
+        let a = eng.add_node(pp(Some(b)));
+        eng.add_node(pp(Some(a)));
+        eng.run_rounds(3);
+        eng.remove_node(b, StopReason::Crash);
+        eng.rejoin_node(b, pp(None));
+        let t = trace.borrow();
+        let mut joins = 0;
+        let mut rejoins = 0;
+        let mut leaves = 0;
+        let mut sends = 0;
+        let mut delivers = 0;
+        for ev in t.events() {
+            match ev {
+                TraceEvent::Join { rejoin: false, .. } => joins += 1,
+                TraceEvent::Join { rejoin: true, .. } => rejoins += 1,
+                TraceEvent::Leave { crash, .. } => {
+                    assert!(crash);
+                    leaves += 1;
+                }
+                TraceEvent::MsgSend { .. } => sends += 1,
+                TraceEvent::MsgDeliver { .. } => delivers += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(joins, 2);
+        assert_eq!(rejoins, 1);
+        assert_eq!(leaves, 1);
+        assert!(sends > 0);
+        assert!(delivers > 0 && delivers <= sends);
+    }
+
+    #[test]
+    fn trace_message_recording_can_be_disabled() {
+        use crate::trace::{Trace, TraceEvent};
+        let mut eng = Engine::new(cfg());
+        let trace = Trace::shared(4096);
+        trace.borrow_mut().set_record_messages(false);
+        eng.set_trace(trace.clone());
+        let b = NodeIdx(1);
+        eng.add_node(pp(Some(b)));
+        eng.add_node(pp(None));
+        eng.run_rounds(3);
+        let t = trace.borrow();
+        assert!(t
+            .events()
+            .all(|e| !matches!(e, TraceEvent::MsgSend { .. } | TraceEvent::MsgDeliver { .. })));
+        assert!(t.events().any(|e| matches!(e, TraceEvent::Join { .. })));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod protocol;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 /// Convenience re-exports for protocol implementations and harnesses.
 pub mod prelude {
@@ -49,4 +50,7 @@ pub mod prelude {
     pub use crate::network::{ConstantLatency, Lossy, NetworkModel, UniformLatency};
     pub use crate::protocol::{Context, Protocol, StopReason};
     pub use crate::time::{Duration, SimTime};
+    pub use crate::trace::{
+        HealthProbe, KindTraffic, MsgTag, Trace, TraceEvent, TraceHandle, TrafficClass,
+    };
 }

@@ -306,6 +306,43 @@ mod tests {
     }
 
     #[test]
+    fn summary_single_sample_has_zero_variance() {
+        let mut s = Summary::new();
+        s.record(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity_both_ways() {
+        let mut filled = Summary::new();
+        filled.record_all([1.0, 2.0, 3.0]);
+        let snapshot = filled;
+        filled.merge(&Summary::new());
+        assert_eq!(filled.count(), snapshot.count());
+        assert_eq!(filled.mean(), snapshot.mean());
+        assert_eq!(filled.variance(), snapshot.variance());
+
+        let mut empty = Summary::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.mean(), 2.0);
+        assert_eq!(empty.min(), 1.0);
+        assert_eq!(empty.max(), 3.0);
+    }
+
+    #[test]
+    fn summary_empty_max_is_nan_and_std_dev_zero() {
+        let s = Summary::new();
+        assert!(s.max().is_nan());
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
     fn histogram_bins_and_overflow() {
         let mut h = Histogram::new(10, 100.0);
         h.record(0.0); // bin 0
@@ -321,6 +358,28 @@ mod tests {
         assert_eq!(h.total(), 6);
         assert!((h.fraction(0) - 0.5).abs() < 1e-12);
         assert_eq!(h.bin_lower(1), 10.0);
+    }
+
+    #[test]
+    fn histogram_exact_upper_bound_counts_as_overflow() {
+        let mut h = Histogram::new(4, 8.0);
+        h.record(8.0); // exactly the upper bound -> overflow bin
+        h.record(7.999_999); // just below -> last regular bin
+        assert_eq!(h.count(h.num_bins()), 1);
+        assert_eq!(h.count(3), 1);
+        // The bin edges cover [0, upper) exactly.
+        assert_eq!(h.bin_lower(0), 0.0);
+        assert_eq!(h.bin_lower(4), 8.0);
+    }
+
+    #[test]
+    fn histogram_empty_fractions_are_zero() {
+        let h = Histogram::new(3, 1.0);
+        assert_eq!(h.total(), 0);
+        for i in 0..=h.num_bins() {
+            assert_eq!(h.fraction(i), 0.0);
+        }
+        assert!(h.fractions().iter().all(|&(_, f)| f == 0.0));
     }
 
     #[test]

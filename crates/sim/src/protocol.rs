@@ -10,6 +10,7 @@
 
 use crate::event::NodeIdx;
 use crate::time::{Duration, SimTime};
+use crate::trace::MsgTag;
 use rand::rngs::SmallRng;
 
 /// Why a node is being stopped.
@@ -46,6 +47,16 @@ pub trait Protocol: Sized {
     /// Called when the node stops. For [`StopReason::Crash`], any sends
     /// emitted here are discarded by the engine.
     fn on_stop(&mut self, _ctx: &mut Context<'_, Self::Msg>, _reason: StopReason) {}
+
+    /// Classify a message for traffic accounting and tracing: a stable
+    /// kind name plus its control/data plane. An associated function (no
+    /// `&self`) so the engine can tag messages without touching node
+    /// state. The default lumps everything under one control-plane kind;
+    /// protocols override it to get the per-kind breakdown surfaced in
+    /// the engine's traffic ledger and trace output.
+    fn classify(_msg: &Self::Msg) -> MsgTag {
+        MsgTag::control("msg")
+    }
 }
 
 /// An output requested by a protocol handler, applied by the engine after the

@@ -1,0 +1,949 @@
+//! Structured run tracing: typed events in a bounded ring buffer with
+//! JSONL export, plus the per-message-kind traffic ledger the engine keeps.
+//!
+//! A [`Trace`] records what *happened* during a run — round boundaries,
+//! node lifecycle (join/leave/churn), message sends and deliveries tagged
+//! by protocol message kind, per-round overlay health probes and
+//! convergence samples — as typed [`TraceEvent`] values. The buffer is a
+//! fixed-capacity ring: recording never allocates once the ring is full,
+//! the newest events win, and the number of evicted events is counted so
+//! truncation is visible rather than silent.
+//!
+//! Export is newline-delimited JSON (JSONL), one flat object per event;
+//! [`parse_event`] parses a line back into a [`TraceEvent`] so traces
+//! round-trip without any external serialization dependency. The schema is
+//! documented in `docs/METRICS.md` at the repository root.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Which plane a message belongs to: protocol maintenance (gossip,
+/// heartbeats, lookups) or event dissemination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Overlay-maintenance traffic: peer sampling, T-Man exchanges,
+    /// heartbeats, relay/tree construction.
+    Control,
+    /// Event-dissemination traffic (notifications and publish stimuli).
+    Data,
+}
+
+impl TrafficClass {
+    /// Stable lowercase name used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrafficClass::Control => "control",
+            TrafficClass::Data => "data",
+        }
+    }
+
+    /// Inverse of [`TrafficClass::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "control" => Some(TrafficClass::Control),
+            "data" => Some(TrafficClass::Data),
+            _ => None,
+        }
+    }
+}
+
+/// The tag a protocol assigns to one of its message variants via
+/// [`crate::protocol::Protocol::classify`]: a stable kind name plus the
+/// traffic class. Kind names are `&'static str` so tagging is
+/// allocation-free on the send/deliver hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgTag {
+    /// Stable snake_case message-kind name (e.g. `"rt_req"`).
+    pub kind: &'static str,
+    /// Control or data plane.
+    pub class: TrafficClass,
+}
+
+impl MsgTag {
+    /// A control-plane tag.
+    pub const fn control(kind: &'static str) -> Self {
+        MsgTag {
+            kind,
+            class: TrafficClass::Control,
+        }
+    }
+
+    /// A data-plane tag.
+    pub const fn data(kind: &'static str) -> Self {
+        MsgTag {
+            kind,
+            class: TrafficClass::Data,
+        }
+    }
+}
+
+/// Send/deliver counters for one message kind over the current
+/// measurement window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KindTraffic {
+    /// The message-kind name.
+    pub kind: &'static str,
+    /// Control or data plane.
+    pub class: TrafficClass,
+    /// Messages of this kind handed to the network.
+    pub sent: u64,
+    /// Messages of this kind delivered to an alive node (includes
+    /// self-timers and harness injections, mirroring the engine's
+    /// aggregate delivered counter).
+    pub delivered: u64,
+}
+
+/// The engine's per-message-kind traffic ledger. A handful of kinds per
+/// protocol means a linear scan beats any map; counters reset with the
+/// measurement window while the kind list persists.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficLedger {
+    kinds: Vec<KindTraffic>,
+}
+
+impl TrafficLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        TrafficLedger::default()
+    }
+
+    fn slot(&mut self, tag: MsgTag) -> &mut KindTraffic {
+        if let Some(i) = self.kinds.iter().position(|k| k.kind == tag.kind) {
+            return &mut self.kinds[i];
+        }
+        self.kinds.push(KindTraffic {
+            kind: tag.kind,
+            class: tag.class,
+            sent: 0,
+            delivered: 0,
+        });
+        self.kinds.last_mut().expect("just pushed")
+    }
+
+    /// Count one send of a `tag`-classified message.
+    pub fn record_send(&mut self, tag: MsgTag) {
+        self.slot(tag).sent += 1;
+    }
+
+    /// Count one delivery of a `tag`-classified message.
+    pub fn record_deliver(&mut self, tag: MsgTag) {
+        self.slot(tag).delivered += 1;
+    }
+
+    /// The per-kind counters, in first-seen order.
+    pub fn kinds(&self) -> &[KindTraffic] {
+        &self.kinds
+    }
+
+    /// `(control, data)` messages sent over the window.
+    pub fn sent_by_class(&self) -> (u64, u64) {
+        self.kinds.iter().fold((0, 0), |(c, d), k| match k.class {
+            TrafficClass::Control => (c + k.sent, d),
+            TrafficClass::Data => (c, d + k.sent),
+        })
+    }
+
+    /// Zero all counters, keeping the kind list (window reset).
+    pub fn reset(&mut self) {
+        for k in &mut self.kinds {
+            k.sent = 0;
+            k.delivered = 0;
+        }
+    }
+}
+
+/// One overlay health sample, filled by a system-level probe (the engine
+/// itself is protocol-agnostic). Fields a system cannot measure stay
+/// `None` and export as JSON `null`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HealthProbe {
+    /// Online nodes at probe time.
+    pub alive: u64,
+    /// Mean routing-table (or link-set) size over online nodes.
+    pub mean_degree: f64,
+    /// Fraction of online nodes whose successor pointer matches the true
+    /// ring (`None` for ring-less overlays).
+    pub ring_accuracy: Option<f64>,
+    /// Mean gossip age over routing-table descriptors (staleness of the
+    /// view; `None` where ages are not tracked).
+    pub mean_view_age: Option<f64>,
+    /// Connected subscriber components summed over the sampled topics.
+    pub clusters: Option<u64>,
+    /// Size of the largest sampled cluster.
+    pub largest_cluster: Option<u64>,
+}
+
+/// A typed trace record. Engine-emitted variants (`Join`, `Leave`,
+/// `MsgSend`, `MsgDeliver`) carry node slots and simulated time in raw
+/// ticks; harness-emitted variants add round boundaries, convergence
+/// samples, health probes and wall-clock phase timings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A gossip-round boundary observed by the measurement harness.
+    Round {
+        /// Measured round number (1-based within the window).
+        round: u64,
+        /// Simulated time in ticks.
+        now: u64,
+        /// Online nodes.
+        alive: u64,
+    },
+    /// A node came online (fresh join or churn rejoin).
+    Join {
+        /// Simulated time in ticks.
+        now: u64,
+        /// Engine slot of the node.
+        node: u32,
+        /// True when re-entering a previously vacated slot.
+        rejoin: bool,
+    },
+    /// A node went offline.
+    Leave {
+        /// Simulated time in ticks.
+        now: u64,
+        /// Engine slot of the node.
+        node: u32,
+        /// True for a crash (no goodbye effects), false for a graceful
+        /// leave.
+        crash: bool,
+    },
+    /// A protocol message was handed to the network.
+    MsgSend {
+        /// Simulated time in ticks.
+        now: u64,
+        /// Sender slot.
+        from: u32,
+        /// Destination slot.
+        to: u32,
+        /// Protocol message kind (from [`MsgTag`]).
+        kind: Cow<'static, str>,
+        /// Control or data plane.
+        class: TrafficClass,
+    },
+    /// A message was delivered to an alive node (includes self-timers
+    /// and harness injections).
+    MsgDeliver {
+        /// Simulated time in ticks.
+        now: u64,
+        /// Sender slot (the receiver itself for timers/injections).
+        from: u32,
+        /// Receiver slot.
+        to: u32,
+        /// Protocol message kind.
+        kind: Cow<'static, str>,
+        /// Control or data plane.
+        class: TrafficClass,
+    },
+    /// A per-round overlay health probe.
+    Health {
+        /// Simulated time in ticks.
+        now: u64,
+        /// The probe sample.
+        probe: HealthProbe,
+    },
+    /// A per-round convergence sample of the paper's headline metrics.
+    Sample {
+        /// Measured round number (1-based within the window).
+        round: u64,
+        /// Simulated time in ticks.
+        now: u64,
+        /// Hit ratio so far in the window.
+        hit_ratio: f64,
+        /// Traffic overhead (relay share) so far, in percent.
+        overhead_pct: f64,
+        /// Deliveries achieved so far.
+        delivered: u64,
+        /// Deliveries expected so far.
+        expected: u64,
+    },
+    /// Wall-clock duration of one harness phase (build / warmup /
+    /// measure / drain).
+    Phase {
+        /// Phase name.
+        name: Cow<'static, str>,
+        /// Wall-clock milliseconds.
+        wall_ms: f64,
+    },
+}
+
+/// Shared handle to a [`Trace`]; the engine and the harness both record
+/// into the same buffer. The engine is single-threaded, so `Rc<RefCell>`
+/// suffices.
+pub type TraceHandle = Rc<RefCell<Trace>>;
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct Trace {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    evicted: u64,
+    total: u64,
+    record_messages: bool,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` events (the newest win).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            buf: VecDeque::with_capacity(capacity),
+            cap: capacity,
+            evicted: 0,
+            total: 0,
+            record_messages: true,
+        }
+    }
+
+    /// A shared handle around a fresh trace (what systems install into
+    /// their engine).
+    pub fn shared(capacity: usize) -> TraceHandle {
+        Rc::new(RefCell::new(Trace::new(capacity)))
+    }
+
+    /// Whether per-message events are recorded (on by default). Round,
+    /// lifecycle, health, sample and phase events are always recorded.
+    pub fn record_messages(&self) -> bool {
+        self.record_messages
+    }
+
+    /// Enable or disable per-message events (they dominate volume on
+    /// large runs).
+    pub fn set_record_messages(&mut self, on: bool) {
+        self.record_messages = on;
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(ev);
+        self.total += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted by the ring bound (truncation indicator).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Events ever recorded (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Drop all retained events and reset the counters.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.evicted = 0;
+        self.total = 0;
+    }
+
+    /// Render the retained events as JSONL, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.buf {
+            write_event(&mut out, ev);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (quoted and escaped).
+/// Public so downstream JSONL writers share the trace's escaping rules.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` to `out` as a JSON number; non-finite values become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null"); // NaN/inf are not valid JSON numbers
+    }
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Append the single-line JSON rendering of `ev` to `out` (no trailing
+/// newline).
+pub fn write_event(out: &mut String, ev: &TraceEvent) {
+    match ev {
+        TraceEvent::Round { round, now, alive } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"round\",\"round\":{round},\"now\":{now},\"alive\":{alive}}}"
+            );
+        }
+        TraceEvent::Join { now, node, rejoin } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"join\",\"now\":{now},\"node\":{node},\"rejoin\":{rejoin}}}"
+            );
+        }
+        TraceEvent::Leave { now, node, crash } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"leave\",\"now\":{now},\"node\":{node},\"crash\":{crash}}}"
+            );
+        }
+        TraceEvent::MsgSend {
+            now,
+            from,
+            to,
+            kind,
+            class,
+        } => {
+            let _ = write!(out, "{{\"type\":\"msg_send\",\"now\":{now},\"from\":{from},\"to\":{to},\"kind\":");
+            push_json_str(out, kind);
+            let _ = write!(out, ",\"class\":\"{}\"}}", class.as_str());
+        }
+        TraceEvent::MsgDeliver {
+            now,
+            from,
+            to,
+            kind,
+            class,
+        } => {
+            let _ = write!(out, "{{\"type\":\"msg_deliver\",\"now\":{now},\"from\":{from},\"to\":{to},\"kind\":");
+            push_json_str(out, kind);
+            let _ = write!(out, ",\"class\":\"{}\"}}", class.as_str());
+        }
+        TraceEvent::Health { now, probe } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"health\",\"now\":{now},\"alive\":{},\"mean_degree\":",
+                probe.alive
+            );
+            push_f64(out, probe.mean_degree);
+            out.push_str(",\"ring_accuracy\":");
+            push_opt_f64(out, probe.ring_accuracy);
+            out.push_str(",\"mean_view_age\":");
+            push_opt_f64(out, probe.mean_view_age);
+            out.push_str(",\"clusters\":");
+            push_opt_u64(out, probe.clusters);
+            out.push_str(",\"largest_cluster\":");
+            push_opt_u64(out, probe.largest_cluster);
+            out.push('}');
+        }
+        TraceEvent::Sample {
+            round,
+            now,
+            hit_ratio,
+            overhead_pct,
+            delivered,
+            expected,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"sample\",\"round\":{round},\"now\":{now},\"hit_ratio\":"
+            );
+            push_f64(out, *hit_ratio);
+            out.push_str(",\"overhead_pct\":");
+            push_f64(out, *overhead_pct);
+            let _ = write!(out, ",\"delivered\":{delivered},\"expected\":{expected}}}");
+        }
+        TraceEvent::Phase { name, wall_ms } => {
+            out.push_str("{\"type\":\"phase\",\"name\":");
+            push_json_str(out, name);
+            out.push_str(",\"wall_ms\":");
+            push_f64(out, *wall_ms);
+            out.push('}');
+        }
+    }
+}
+
+/// The JSON rendering of one event (convenience over [`write_event`]).
+pub fn event_to_json(ev: &TraceEvent) -> String {
+    let mut s = String::new();
+    write_event(&mut s, ev);
+    s
+}
+
+/// A parsed flat JSON value (trace records never nest).
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Parse a single flat JSON object: `{"key": value, ...}` with string,
+/// number, boolean or null values. Sufficient for every record this
+/// module writes; not a general JSON parser.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut cs = line.trim().char_indices().peekable();
+    let s = line.trim();
+    let mut out = Vec::new();
+    let skip_ws = |cs: &mut std::iter::Peekable<std::str::CharIndices<'_>>| {
+        while cs.peek().is_some_and(|&(_, c)| c.is_whitespace()) {
+            cs.next();
+        }
+    };
+    let parse_string = |cs: &mut std::iter::Peekable<std::str::CharIndices<'_>>| -> Option<String> {
+        match cs.next() {
+            Some((_, '"')) => {}
+            _ => return None,
+        }
+        let mut v = String::new();
+        loop {
+            match cs.next()? {
+                (_, '"') => return Some(v),
+                (_, '\\') => match cs.next()?.1 {
+                    '"' => v.push('"'),
+                    '\\' => v.push('\\'),
+                    'n' => v.push('\n'),
+                    't' => v.push('\t'),
+                    'r' => v.push('\r'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + cs.next()?.1.to_digit(16)?;
+                        }
+                        v.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                (_, c) => v.push(c),
+            }
+        }
+    };
+
+    skip_ws(&mut cs);
+    match cs.next() {
+        Some((_, '{')) => {}
+        _ => return None,
+    }
+    skip_ws(&mut cs);
+    if cs.peek().is_some_and(|&(_, c)| c == '}') {
+        cs.next();
+        return Some(out);
+    }
+    loop {
+        skip_ws(&mut cs);
+        let key = parse_string(&mut cs)?;
+        skip_ws(&mut cs);
+        match cs.next() {
+            Some((_, ':')) => {}
+            _ => return None,
+        }
+        skip_ws(&mut cs);
+        let val = match cs.peek()? {
+            (_, '"') => JsonValue::Str(parse_string(&mut cs)?),
+            &(i, c) if c == 't' || c == 'f' || c == 'n' => {
+                let rest = &s[i..];
+                if rest.starts_with("true") {
+                    for _ in 0..4 {
+                        cs.next();
+                    }
+                    JsonValue::Bool(true)
+                } else if rest.starts_with("false") {
+                    for _ in 0..5 {
+                        cs.next();
+                    }
+                    JsonValue::Bool(false)
+                } else if rest.starts_with("null") {
+                    for _ in 0..4 {
+                        cs.next();
+                    }
+                    JsonValue::Null
+                } else {
+                    return None;
+                }
+            }
+            &(i, _) => {
+                let mut end = s.len();
+                while let Some(&(j, c)) = cs.peek() {
+                    if c == ',' || c == '}' || c.is_whitespace() {
+                        end = j;
+                        break;
+                    }
+                    cs.next();
+                }
+                JsonValue::Num(s[i..end].parse().ok()?)
+            }
+        };
+        out.push((key, val));
+        skip_ws(&mut cs);
+        match cs.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => return Some(out),
+            _ => return None,
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(fields: &[(String, JsonValue)], key: &str) -> Option<u64> {
+    match get(fields, key)? {
+        JsonValue::Num(n) if *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn get_u32(fields: &[(String, JsonValue)], key: &str) -> Option<u32> {
+    get_u64(fields, key).map(|v| v as u32)
+}
+
+fn get_f64(fields: &[(String, JsonValue)], key: &str) -> Option<f64> {
+    match get(fields, key)? {
+        JsonValue::Num(n) => Some(*n),
+        JsonValue::Null => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+fn get_bool(fields: &[(String, JsonValue)], key: &str) -> Option<bool> {
+    match get(fields, key)? {
+        JsonValue::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a str> {
+    match get(fields, key)? {
+        JsonValue::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_opt_f64(fields: &[(String, JsonValue)], key: &str) -> Option<Option<f64>> {
+    match get(fields, key)? {
+        JsonValue::Num(n) => Some(Some(*n)),
+        JsonValue::Null => Some(None),
+        _ => None,
+    }
+}
+
+fn get_opt_u64(fields: &[(String, JsonValue)], key: &str) -> Option<Option<u64>> {
+    match get(fields, key)? {
+        JsonValue::Num(n) if *n >= 0.0 => Some(Some(*n as u64)),
+        JsonValue::Null => Some(None),
+        _ => None,
+    }
+}
+
+/// Parse one JSONL line written by [`write_event`] back into a
+/// [`TraceEvent`]. Returns `None` on malformed input or an unknown
+/// record type. Extra fields (e.g. a `"run"` tag added by the experiment
+/// harness) are ignored.
+pub fn parse_event(line: &str) -> Option<TraceEvent> {
+    let fields = parse_flat_object(line)?;
+    let tag = |key: &str| -> Option<(Cow<'static, str>, TrafficClass)> {
+        Some((
+            Cow::Owned(get_str(&fields, key)?.to_string()),
+            TrafficClass::parse(get_str(&fields, "class")?)?,
+        ))
+    };
+    match get_str(&fields, "type")? {
+        "round" => Some(TraceEvent::Round {
+            round: get_u64(&fields, "round")?,
+            now: get_u64(&fields, "now")?,
+            alive: get_u64(&fields, "alive")?,
+        }),
+        "join" => Some(TraceEvent::Join {
+            now: get_u64(&fields, "now")?,
+            node: get_u32(&fields, "node")?,
+            rejoin: get_bool(&fields, "rejoin")?,
+        }),
+        "leave" => Some(TraceEvent::Leave {
+            now: get_u64(&fields, "now")?,
+            node: get_u32(&fields, "node")?,
+            crash: get_bool(&fields, "crash")?,
+        }),
+        "msg_send" => {
+            let (kind, class) = tag("kind")?;
+            Some(TraceEvent::MsgSend {
+                now: get_u64(&fields, "now")?,
+                from: get_u32(&fields, "from")?,
+                to: get_u32(&fields, "to")?,
+                kind,
+                class,
+            })
+        }
+        "msg_deliver" => {
+            let (kind, class) = tag("kind")?;
+            Some(TraceEvent::MsgDeliver {
+                now: get_u64(&fields, "now")?,
+                from: get_u32(&fields, "from")?,
+                to: get_u32(&fields, "to")?,
+                kind,
+                class,
+            })
+        }
+        "health" => Some(TraceEvent::Health {
+            now: get_u64(&fields, "now")?,
+            probe: HealthProbe {
+                alive: get_u64(&fields, "alive")?,
+                mean_degree: get_f64(&fields, "mean_degree")?,
+                ring_accuracy: get_opt_f64(&fields, "ring_accuracy")?,
+                mean_view_age: get_opt_f64(&fields, "mean_view_age")?,
+                clusters: get_opt_u64(&fields, "clusters")?,
+                largest_cluster: get_opt_u64(&fields, "largest_cluster")?,
+            },
+        }),
+        "sample" => Some(TraceEvent::Sample {
+            round: get_u64(&fields, "round")?,
+            now: get_u64(&fields, "now")?,
+            hit_ratio: get_f64(&fields, "hit_ratio")?,
+            overhead_pct: get_f64(&fields, "overhead_pct")?,
+            delivered: get_u64(&fields, "delivered")?,
+            expected: get_u64(&fields, "expected")?,
+        }),
+        "phase" => Some(TraceEvent::Phase {
+            name: Cow::Owned(get_str(&fields, "name")?.to_string()),
+            wall_ms: get_f64(&fields, "wall_ms")?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Round {
+                round: 3,
+                now: 192,
+                alive: 400,
+            },
+            TraceEvent::Join {
+                now: 0,
+                node: 17,
+                rejoin: false,
+            },
+            TraceEvent::Leave {
+                now: 900,
+                node: 3,
+                crash: true,
+            },
+            TraceEvent::MsgSend {
+                now: 12,
+                from: 1,
+                to: 9,
+                kind: Cow::Borrowed("rt_req"),
+                class: TrafficClass::Control,
+            },
+            TraceEvent::MsgDeliver {
+                now: 13,
+                from: 1,
+                to: 9,
+                kind: Cow::Borrowed("notification"),
+                class: TrafficClass::Data,
+            },
+            TraceEvent::Health {
+                now: 192,
+                probe: HealthProbe {
+                    alive: 400,
+                    mean_degree: 14.25,
+                    ring_accuracy: Some(0.9825),
+                    mean_view_age: Some(1.5),
+                    clusters: Some(3),
+                    largest_cluster: Some(120),
+                },
+            },
+            TraceEvent::Health {
+                now: 200,
+                probe: HealthProbe {
+                    alive: 10,
+                    mean_degree: 2.0,
+                    ring_accuracy: None,
+                    mean_view_age: None,
+                    clusters: None,
+                    largest_cluster: None,
+                },
+            },
+            TraceEvent::Sample {
+                round: 4,
+                now: 256,
+                hit_ratio: 0.96875,
+                overhead_pct: 12.5,
+                delivered: 31,
+                expected: 32,
+            },
+            TraceEvent::Phase {
+                name: Cow::Borrowed("warmup"),
+                wall_ms: 1523.75,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_type_round_trips() {
+        for ev in sample_events() {
+            let line = event_to_json(&ev);
+            let back = parse_event(&line)
+                .unwrap_or_else(|| panic!("parse failed for {line}"));
+            assert_eq!(back, ev, "round trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn parser_ignores_extra_fields() {
+        let line = r#"{"run":"fig6/vitis","type":"round","round":1,"now":64,"alive":10}"#;
+        assert_eq!(
+            parse_event(line),
+            Some(TraceEvent::Round {
+                round: 1,
+                now: 64,
+                alive: 10
+            })
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert_eq!(parse_event(""), None);
+        assert_eq!(parse_event("{"), None);
+        assert_eq!(parse_event("{\"type\":\"nope\"}"), None);
+        assert_eq!(parse_event("{\"type\":\"round\"}"), None); // missing fields
+        assert_eq!(parse_event("not json at all"), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let ev = TraceEvent::Phase {
+            name: Cow::Owned("we\"ird\\ph\nase\u{1}".to_string()),
+            wall_ms: 1.0,
+        };
+        let line = event_to_json(&ev);
+        assert_eq!(parse_event(&line), Some(ev));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest_and_counts_evictions() {
+        let mut t = Trace::new(3);
+        for round in 0..5 {
+            t.record(TraceEvent::Round {
+                round,
+                now: round * 64,
+                alive: 1,
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted(), 2);
+        assert_eq!(t.total_recorded(), 5);
+        let rounds: Vec<u64> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Round { round, .. } => *round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_valid_line_per_event() {
+        let mut t = Trace::new(16);
+        for ev in sample_events() {
+            t.record(ev);
+        }
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), t.len());
+        for (line, ev) in lines.iter().zip(t.events()) {
+            assert_eq!(parse_event(line).as_ref(), Some(ev));
+        }
+    }
+
+    #[test]
+    fn ledger_accumulates_and_resets_by_window() {
+        let mut l = TrafficLedger::new();
+        l.record_send(MsgTag::control("ps_req"));
+        l.record_send(MsgTag::control("ps_req"));
+        l.record_deliver(MsgTag::control("ps_req"));
+        l.record_send(MsgTag::data("notification"));
+        assert_eq!(l.kinds().len(), 2);
+        assert_eq!(l.sent_by_class(), (2, 1));
+        let ps = l.kinds().iter().find(|k| k.kind == "ps_req").unwrap();
+        assert_eq!((ps.sent, ps.delivered), (2, 1));
+        l.reset();
+        assert_eq!(l.sent_by_class(), (0, 0));
+        // Kind list survives the window reset.
+        assert_eq!(l.kinds().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_null() {
+        let ev = TraceEvent::Sample {
+            round: 1,
+            now: 1,
+            hit_ratio: f64::NAN,
+            overhead_pct: f64::INFINITY,
+            delivered: 0,
+            expected: 0,
+        };
+        let line = event_to_json(&ev);
+        assert!(line.contains("\"hit_ratio\":null"));
+        assert!(line.contains("\"overhead_pct\":null"));
+        // Still parseable; NaN comes back for null numeric fields.
+        let back = parse_event(&line).unwrap();
+        match back {
+            TraceEvent::Sample { hit_ratio, .. } => assert!(hit_ratio.is_nan()),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -47,6 +47,15 @@ impl Correlation {
             Correlation::High => "high correlation",
         }
     }
+
+    /// Single-word label, safe for identifiers such as run ids.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Correlation::Random => "random",
+            Correlation::Low => "low",
+            Correlation::High => "high",
+        }
+    }
 }
 
 /// Parameters of the synthetic subscription generator. Paper defaults:
