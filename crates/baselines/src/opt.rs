@@ -12,7 +12,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::rc::Rc;
-use vitis::monitor::{EventId, Monitor};
+use vitis::monitor::{EventId, HopPath, Monitor};
 use vitis::topic::{Subs, TopicId};
 use vitis_overlay::entry::Entry;
 use vitis_overlay::id::Id;
@@ -71,6 +71,9 @@ pub enum OptMsg {
         topic: TopicId,
         /// Hops from the publisher.
         hops: u32,
+        /// Causal provenance (forensic metadata only — excluded from
+        /// wire-size accounting, never consulted for routing).
+        path: HopPath,
     },
     /// Harness stimulus: publish `event` on `topic` from this node.
     PublishCmd {
@@ -227,10 +230,20 @@ impl OptNode {
         event: EventId,
         topic: TopicId,
         hops: u32,
+        path: &HopPath,
     ) {
         for (&peer, link) in &self.links {
             if Some(peer) != came_from && link.subs.contains(topic) {
-                ctx.send(peer, OptMsg::Notif { event, topic, hops });
+                self.monitor.record_forward(event, self.addr, peer, hops, ctx.now);
+                ctx.send(
+                    peer,
+                    OptMsg::Notif {
+                        event,
+                        topic,
+                        hops,
+                        path: path.clone(),
+                    },
+                );
             }
         }
     }
@@ -322,20 +335,24 @@ impl Protocol for OptNode {
                 event,
                 topic,
                 hops,
+                path,
             } => {
                 let interested = self.subs.contains(topic);
                 self.monitor.record_data_rx(self.addr, interested);
                 if !self.seen.insert(event) {
                     return;
                 }
+                let path_here = path.extend(self.addr);
                 if interested {
-                    self.monitor.record_delivery(event, self.addr, hops, ctx.now);
+                    self.monitor
+                        .record_delivery_traced(event, self.addr, hops, ctx.now, &path_here);
                 }
-                self.flood(ctx, Some(from), event, topic, hops + 1);
+                self.flood(ctx, Some(from), event, topic, hops + 1, &path_here);
             }
             OptMsg::PublishCmd { event, topic } => {
                 self.seen.insert(event);
-                self.flood(ctx, None, event, topic, 1);
+                let path = HopPath::origin(self.addr);
+                self.flood(ctx, None, event, topic, 1, &path);
             }
         }
     }

@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
-use vitis::monitor::{EventId, Monitor};
+use vitis::monitor::{EventId, HopPath, Monitor};
 use vitis::relay::RelayTable;
 use vitis::topic::{Subs, TopicId};
 use vitis_overlay::entry::{merge_dedup, Entry};
@@ -85,6 +85,9 @@ pub enum RvrMsg {
         topic: TopicId,
         /// Hops from the publisher.
         hops: u32,
+        /// Causal provenance (forensic metadata only — excluded from
+        /// wire-size accounting, never consulted for routing).
+        path: HopPath,
     },
     /// Harness stimulus: publish `event` on `topic` from this node.
     PublishCmd {
@@ -243,9 +246,19 @@ impl RvrNode {
         event: EventId,
         topic: TopicId,
         hops: u32,
+        path: &HopPath,
     ) {
         for t in self.tree.fanout(topic, came_from) {
-            ctx.send(t, RvrMsg::Notif { event, topic, hops });
+            self.monitor.record_forward(event, self.addr, t, hops, ctx.now);
+            ctx.send(
+                t,
+                RvrMsg::Notif {
+                    event,
+                    topic,
+                    hops,
+                    path: path.clone(),
+                },
+            );
         }
     }
 
@@ -256,16 +269,19 @@ impl RvrNode {
         event: EventId,
         topic: TopicId,
         hops: u32,
+        path: &HopPath,
     ) {
         let interested = self.subs.contains(topic);
         self.monitor.record_data_rx(self.addr, interested);
         if !self.seen.insert(event) {
             return;
         }
+        let path_here = path.extend(self.addr);
         if interested {
-            self.monitor.record_delivery(event, self.addr, hops, ctx.now);
+            self.monitor
+                .record_delivery_traced(event, self.addr, hops, ctx.now, &path_here);
         }
-        self.forward_notif(ctx, Some(from), event, topic, hops + 1);
+        self.forward_notif(ctx, Some(from), event, topic, hops + 1, &path_here);
     }
 }
 
@@ -370,12 +386,14 @@ impl Protocol for RvrNode {
                 event,
                 topic,
                 hops,
-            } => self.on_notif(ctx, from, event, topic, hops),
+                path,
+            } => self.on_notif(ctx, from, event, topic, hops, &path),
             RvrMsg::PublishCmd { event, topic } => {
                 self.seen.insert(event);
                 // The publisher is a subscriber, so it sits in the tree; the
                 // notification climbs to the rendezvous and floods down.
-                self.forward_notif(ctx, None, event, topic, 1);
+                let path = HopPath::origin(self.addr);
+                self.forward_notif(ctx, None, event, topic, 1, &path);
             }
         }
     }

@@ -6,9 +6,10 @@ use crate::opt::{OptConfig, OptMsg, OptNode};
 use crate::rvr::{RvrConfig, RvrMsg, RvrNode};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use std::collections::HashMap;
 use std::rc::Rc;
 use vitis::harness::Workload;
-use vitis::monitor::{EventId, Monitor, PubSubStats};
+use vitis::monitor::{EventId, LossReason, LossReport, MissContext, Monitor, PubSubStats};
 use vitis::system::{cluster_probe, PubSub, SystemParams};
 use vitis::topic::{Subs, TopicId};
 use vitis_overlay::entry::Entry;
@@ -120,6 +121,45 @@ impl RvrSystem {
         }
         g
     }
+
+    /// Classify one missed `(event, subscriber)` pair against the tree
+    /// state. `comps` are the connected components of the *whole* alive
+    /// overlay (RVR trees route through non-subscribers), and
+    /// `rendezvous_claims` the number of nodes claiming the topic's root.
+    fn classify_miss(
+        &self,
+        comps: &[Vec<u32>],
+        rendezvous_claims: usize,
+        miss: &MissContext<'_>,
+    ) -> LossReason {
+        if !self.engine.is_alive(miss.subscriber) {
+            return LossReason::SubscriberChurned;
+        }
+        let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
+            return LossReason::PartitionedCluster;
+        };
+        if !comp
+            .iter()
+            .any(|&x| miss.delivered.binary_search(&NodeIdx(x)).is_ok())
+        {
+            // The event never reached this partition of the overlay.
+            return LossReason::PartitionedCluster;
+        }
+        let has_tree_state = self
+            .engine
+            .node(miss.subscriber)
+            .is_some_and(|n| n.tree_table().has(miss.topic));
+        if !has_tree_state {
+            // The subscriber's join path never installed (or let expire)
+            // its tree soft state — the RVR analogue of a broken relay.
+            return LossReason::RelayBroken;
+        }
+        match rendezvous_claims {
+            0 => LossReason::RelayBroken, // no root: joins never terminated
+            1 => LossReason::IncompleteFlood, // tree exists but fanout stopped short
+            _ => LossReason::RingMisroute, // conflicting roots split the tree
+        }
+    }
 }
 
 impl PubSub for RvrSystem {
@@ -141,6 +181,7 @@ impl PubSub for RvrSystem {
             .workload
             .expected_subscribers(topic, publisher, now, |s| engine.joined_at(NodeIdx(s)));
         let event = self.monitor.register_event(topic, now, expected);
+        self.monitor.trace_publish(event, NodeIdx(publisher));
         self.engine
             .inject(NodeIdx(publisher), RvrMsg::PublishCmd { event, topic });
         Some(event)
@@ -210,7 +251,29 @@ impl PubSub for RvrSystem {
     }
 
     fn install_trace(&mut self, trace: TraceHandle) {
+        self.monitor.set_trace(Some(trace.clone()));
         self.engine.set_trace(trace);
+    }
+
+    fn loss_report(&self) -> LossReport {
+        let graph = self.overlay_graph();
+        let alive: Vec<u32> = self.engine.alive_indices().into_iter().map(|i| i.0).collect();
+        let comps = graph.components_within(&alive);
+        // Rendezvous-claim counts, lazily computed once per topic.
+        let mut rdv_by_topic: HashMap<TopicId, usize> = HashMap::new();
+        self.monitor.attribute_losses(self.engine.now(), |miss| {
+            let rdv = *rdv_by_topic.entry(miss.topic).or_insert_with(|| {
+                self.engine
+                    .alive_nodes()
+                    .filter(|(_, n)| {
+                        n.tree_table()
+                            .get(miss.topic)
+                            .is_some_and(|e| e.is_rendezvous())
+                    })
+                    .count()
+            });
+            self.classify_miss(&comps, rdv, miss)
+        })
     }
 
     fn health_probe(&self) -> HealthProbe {
@@ -378,6 +441,7 @@ impl PubSub for OptSystem {
             .workload
             .expected_subscribers(topic, publisher, now, |s| engine.joined_at(NodeIdx(s)));
         let event = self.monitor.register_event(topic, now, expected);
+        self.monitor.trace_publish(event, NodeIdx(publisher));
         self.engine
             .inject(NodeIdx(publisher), OptMsg::PublishCmd { event, topic });
         Some(event)
@@ -445,7 +509,42 @@ impl PubSub for OptSystem {
     }
 
     fn install_trace(&mut self, trace: TraceHandle) {
+        self.monitor.set_trace(Some(trace.clone()));
         self.engine.set_trace(trace);
+    }
+
+    fn loss_report(&self) -> LossReport {
+        // OPT has no structure beyond the per-topic subgraphs, so every
+        // miss is either churn, a subgraph partition the flood could not
+        // cross, or a flood that stopped short inside a reached component.
+        let graph = self.overlay_graph();
+        let mut comps_by_topic: HashMap<TopicId, Vec<Vec<u32>>> = HashMap::new();
+        self.monitor.attribute_losses(self.engine.now(), |miss| {
+            if !self.engine.is_alive(miss.subscriber) {
+                return LossReason::SubscriberChurned;
+            }
+            let comps = comps_by_topic.entry(miss.topic).or_insert_with(|| {
+                let subs: Vec<u32> = self
+                    .workload
+                    .subscribers(miss.topic)
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.engine.is_alive(NodeIdx(s)))
+                    .collect();
+                graph.components_within(&subs)
+            });
+            let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
+                return LossReason::PartitionedCluster;
+            };
+            if comp
+                .iter()
+                .any(|&x| miss.delivered.binary_search(&NodeIdx(x)).is_ok())
+            {
+                LossReason::IncompleteFlood
+            } else {
+                LossReason::PartitionedCluster
+            }
+        })
     }
 
     fn health_probe(&self) -> HealthProbe {
@@ -649,6 +748,29 @@ mod tests {
         );
         check(&mut RvrSystem::new(params.clone()), "rvr", true);
         check(&mut OptSystem::new(params), "opt", false);
+    }
+
+    /// Both baselines must honor the [`PubSub::loss_report`] contract:
+    /// per-reason counts partition the missed `(event, subscriber)` pairs.
+    #[test]
+    fn baseline_loss_reports_sum_to_missed_pairs() {
+        fn check(sys: &mut dyn PubSub, name: &str) {
+            sys.run_rounds(30);
+            sys.reset_metrics();
+            for t in 0..10 {
+                sys.publish(TopicId(t));
+            }
+            sys.run_rounds(5);
+            let s = sys.stats();
+            let report = sys.loss_report();
+            assert_eq!(report.expected, s.expected, "{name}: expected matches");
+            assert_eq!(report.delivered, s.delivered, "{name}: delivered matches");
+            let sum: u64 = report.by_reason.iter().map(|&(_, c)| c).sum();
+            assert_eq!(sum, report.missed(), "{name}: reasons partition misses");
+        }
+        let params = random_params(120, 12, 4, 53);
+        check(&mut RvrSystem::new(params.clone()), "rvr");
+        check(&mut OptSystem::new(params), "opt");
     }
 
     #[test]

@@ -17,17 +17,166 @@
 
 use crate::topic::TopicId;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use vitis_sim::event::NodeIdx;
 use vitis_sim::metrics::Summary;
 use vitis_sim::time::SimTime;
-use vitis_sim::trace::{KindTraffic, TrafficClass};
+use vitis_sim::trace::{KindTraffic, TraceEvent, TraceHandle, TrafficClass};
 
 /// Identifier of a published event within a run.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct EventId(pub u64);
+
+/// Causal hop-path provenance carried inside dissemination messages: the
+/// engine slots an event copy has visited, publisher first. Backed by a
+/// shared `Rc` so fanning a notification out to `k` neighbors clones a
+/// pointer, not the path; [`HopPath::extend`] allocates once per hop.
+///
+/// The path is forensic metadata only — it never influences routing and
+/// does not count toward wire-size accounting (see `docs/METRICS.md` §6).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HopPath(Rc<Vec<NodeIdx>>);
+
+impl HopPath {
+    /// A path starting (and ending) at the publisher.
+    pub fn origin(node: NodeIdx) -> Self {
+        HopPath(Rc::new(vec![node]))
+    }
+
+    /// The path with `node` appended (a copy; the original is unchanged).
+    pub fn extend(&self, node: NodeIdx) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(node);
+        HopPath(Rc::new(v))
+    }
+
+    /// Visited slots, publisher first.
+    pub fn nodes(&self) -> &[NodeIdx] {
+        &self.0
+    }
+
+    /// Number of visited slots (0 for an empty/absent path).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no provenance was carried.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The trace encoding: `>`-joined slot numbers, e.g. `"0>5>12"`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (i, n) in self.0.iter().enumerate() {
+            if i > 0 {
+                s.push('>');
+            }
+            s.push_str(&n.0.to_string());
+        }
+        s
+    }
+}
+
+/// Why a missed `(event, subscriber)` pair failed, as classified by the
+/// loss-attribution pass at window close ([`Monitor::attribute_losses`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossReason {
+    /// The subscriber went offline between publish and window close.
+    SubscriberChurned,
+    /// The subscriber's connected topic cluster contains no gateway, so
+    /// nothing in its component could have pulled the event off the ring.
+    NoGateway,
+    /// A gateway exists in the subscriber's cluster but holds no relay
+    /// state for the topic (relay path never built or expired).
+    RelayBroken,
+    /// Conflicting rendezvous claims: more than one alive node believes
+    /// it is the topic's rendezvous point, so relay paths diverge.
+    RingMisroute,
+    /// The subscriber's cluster is disconnected from every copy of the
+    /// event (and none of the finer-grained causes above applies).
+    PartitionedCluster,
+    /// The event reached the subscriber's connected cluster but flooding
+    /// or forwarding stopped before covering it (e.g. window closed too
+    /// early, or a forwarding gap).
+    IncompleteFlood,
+}
+
+impl LossReason {
+    /// Every reason, in display order.
+    pub const ALL: [LossReason; 6] = [
+        LossReason::SubscriberChurned,
+        LossReason::NoGateway,
+        LossReason::RelayBroken,
+        LossReason::RingMisroute,
+        LossReason::PartitionedCluster,
+        LossReason::IncompleteFlood,
+    ];
+
+    /// Stable snake_case name used in `drop_event` trace records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LossReason::SubscriberChurned => "subscriber_churned",
+            LossReason::NoGateway => "no_gateway",
+            LossReason::RelayBroken => "relay_broken",
+            LossReason::RingMisroute => "ring_misroute",
+            LossReason::PartitionedCluster => "partitioned_cluster",
+            LossReason::IncompleteFlood => "incomplete_flood",
+        }
+    }
+
+    /// Inverse of [`LossReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        LossReason::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+}
+
+/// One missed `(event, subscriber)` pair handed to the classification
+/// callback of [`Monitor::attribute_losses`].
+#[derive(Clone, Debug)]
+pub struct MissContext<'a> {
+    /// The undelivered event.
+    pub event: EventId,
+    /// Its topic.
+    pub topic: TopicId,
+    /// The expected subscriber that never received it.
+    pub subscriber: NodeIdx,
+    /// Sorted slots that *did* receive the event — lets a classifier ask
+    /// whether the event ever reached the subscriber's cluster.
+    pub delivered: &'a [NodeIdx],
+}
+
+/// The loss-attribution breakdown of one measurement window: every missed
+/// `(event, subscriber)` pair classified by a [`LossReason`]. Counts sum
+/// exactly to `expected - delivered`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LossReport {
+    /// Expected `(event, subscriber)` deliveries over the window.
+    pub expected: u64,
+    /// Deliveries achieved.
+    pub delivered: u64,
+    /// Misses per reason, ordered as [`LossReason::ALL`].
+    pub by_reason: Vec<(LossReason, u64)>,
+}
+
+impl LossReport {
+    /// Total missed pairs (`expected - delivered`).
+    pub fn missed(&self) -> u64 {
+        self.expected - self.delivered
+    }
+
+    /// Misses attributed to `reason`.
+    pub fn count(&self, reason: LossReason) -> u64 {
+        self.by_reason
+            .iter()
+            .find(|(r, _)| *r == reason)
+            .map_or(0, |(_, n)| *n)
+    }
+}
 
 #[derive(Clone, Debug)]
 struct EventRecord {
@@ -46,6 +195,10 @@ struct MonitorInner {
     /// resets — nodes deduplicate forwarding by EventId, so an id must
     /// never be reused within a run.
     first_id: u64,
+    /// Forensics sink: when installed, per-event causal records
+    /// (`pub_event` / `fwd` / `deliver_event` / `drop_event`) are emitted
+    /// here. Pure observation — never consulted by any protocol decision.
+    trace: Option<TraceHandle>,
     /// Per-slot received data-plane messages for subscribed topics.
     useful_rx: Vec<u64>,
     /// Per-slot received data-plane messages for unsubscribed topics.
@@ -180,6 +333,21 @@ impl Monitor {
     /// late joiners); repeated arrivals keep the minimum hop count and the
     /// earliest arrival time.
     pub fn record_delivery(&self, event: EventId, node: NodeIdx, hops: u32, now: SimTime) {
+        self.record_delivery_traced(event, node, hops, now, &HopPath::default());
+    }
+
+    /// [`Monitor::record_delivery`] with causal provenance: the first
+    /// arrival at an expected subscriber additionally emits a
+    /// `deliver_event` forensics record (hops, publish-to-arrival latency,
+    /// and the hop path) into the installed trace, if any.
+    pub fn record_delivery_traced(
+        &self,
+        event: EventId,
+        node: NodeIdx,
+        hops: u32,
+        now: SimTime,
+        path: &HopPath,
+    ) {
         let mut inner = self.inner.borrow_mut();
         let Some(rec) = inner.record_of(event) else {
             return;
@@ -187,6 +355,8 @@ impl Monitor {
         if rec.expected.binary_search(&node).is_err() {
             return;
         }
+        let first = !rec.delivered.contains_key(&node);
+        let published_at = rec.published_at;
         rec.delivered
             .entry(node)
             .and_modify(|(h, t)| {
@@ -194,6 +364,137 @@ impl Monitor {
                 *t = (*t).min(now);
             })
             .or_insert((hops, now));
+        if first {
+            if let Some(trace) = &inner.trace {
+                trace.borrow_mut().record(TraceEvent::DeliverEvent {
+                    now: now.ticks(),
+                    event: event.0,
+                    node: node.0,
+                    hops,
+                    latency: now.since(published_at).ticks(),
+                    path: path.render(),
+                });
+            }
+        }
+    }
+
+    /// Install (or, with `None`, remove) the forensics trace sink. Systems
+    /// wire this alongside their engine trace so causal records land in
+    /// the same ring buffer as transport events.
+    pub fn set_trace(&self, trace: Option<TraceHandle>) {
+        self.inner.borrow_mut().trace = trace;
+    }
+
+    /// Emit the `pub_event` forensics record for a freshly registered
+    /// event: the root of its delivery tree. Call right after
+    /// [`Monitor::register_event`], once the publisher is known.
+    pub fn trace_publish(&self, event: EventId, publisher: NodeIdx) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(rec) = inner.record_of(event) else {
+            return;
+        };
+        let (now, topic, expected) = (
+            rec.published_at.ticks(),
+            rec.topic.0 as u64,
+            rec.expected.len() as u64,
+        );
+        if let Some(trace) = &inner.trace {
+            trace.borrow_mut().record(TraceEvent::PubEvent {
+                now,
+                event: event.0,
+                topic,
+                node: publisher.0,
+                expected,
+            });
+        }
+    }
+
+    /// Emit one `fwd` forensics record: `from` handed a copy of `event` to
+    /// `to` carrying hop count `hop`. No-op unless a trace is installed,
+    /// so protocols call it unconditionally on their forwarding paths.
+    pub fn record_forward(&self, event: EventId, from: NodeIdx, to: NodeIdx, hop: u32, now: SimTime) {
+        let inner = self.inner.borrow();
+        if let Some(trace) = &inner.trace {
+            trace.borrow_mut().record(TraceEvent::Fwd {
+                now: now.ticks(),
+                event: event.0,
+                from: from.0,
+                to: to.0,
+                hop,
+            });
+        }
+    }
+
+    /// Classify every missed `(event, subscriber)` pair of the current
+    /// window. `classify` receives a [`MissContext`] per miss and returns
+    /// its [`LossReason`]; each miss also emits a `drop_event` forensics
+    /// record. The returned report's per-reason counts sum exactly to
+    /// `expected - delivered`.
+    ///
+    /// The monitor is not borrowed while `classify` runs, so the callback
+    /// is free to inspect system state that itself consults the monitor.
+    pub fn attribute_losses<F>(&self, now: SimTime, mut classify: F) -> LossReport
+    where
+        F: FnMut(&MissContext<'_>) -> LossReason,
+    {
+        // Snapshot the misses first so `classify` runs without any borrow
+        // of the monitor held.
+        struct Miss {
+            event: EventId,
+            topic: TopicId,
+            delivered: Vec<NodeIdx>,
+            missing: Vec<NodeIdx>,
+        }
+        let (misses, trace, mut report) = {
+            let inner = self.inner.borrow();
+            let mut misses = Vec::new();
+            let mut report = LossReport::default();
+            for (i, rec) in inner.events.iter().enumerate() {
+                report.expected += rec.expected.len() as u64;
+                report.delivered += rec.delivered.len() as u64;
+                let missing: Vec<NodeIdx> = rec
+                    .expected
+                    .iter()
+                    .filter(|n| !rec.delivered.contains_key(n))
+                    .copied()
+                    .collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                let mut delivered: Vec<NodeIdx> = rec.delivered.keys().copied().collect();
+                delivered.sort_unstable();
+                misses.push(Miss {
+                    event: EventId(inner.first_id + i as u64),
+                    topic: rec.topic,
+                    delivered,
+                    missing,
+                });
+            }
+            (misses, inner.trace.clone(), report)
+        };
+        report.by_reason = LossReason::ALL.iter().map(|&r| (r, 0)).collect();
+        for miss in &misses {
+            for &sub in &miss.missing {
+                let reason = classify(&MissContext {
+                    event: miss.event,
+                    topic: miss.topic,
+                    subscriber: sub,
+                    delivered: &miss.delivered,
+                });
+                if let Some(slot) = report.by_reason.iter_mut().find(|(r, _)| *r == reason) {
+                    slot.1 += 1;
+                }
+                if let Some(trace) = &trace {
+                    trace.borrow_mut().record(TraceEvent::DropEvent {
+                        now: now.ticks(),
+                        event: miss.event.0,
+                        node: sub.0,
+                        reason: Cow::Borrowed(reason.as_str()),
+                    });
+                }
+            }
+        }
+        report
     }
 
     /// Account control-plane bytes sent by `node` (gossip buffers,
@@ -263,7 +564,14 @@ impl Monitor {
         for rec in &inner.events {
             expected += rec.expected.len() as u64;
             delivered += rec.delivered.len() as u64;
-            for &(h, at) in rec.delivered.values() {
+            // Iterate in sorted node order (expected is sorted and
+            // delivered ⊆ expected) so the streaming means accumulate in
+            // a deterministic order — hash-map iteration order would make
+            // the float stats differ bit-wise between identical runs.
+            for node in &rec.expected {
+                let Some(&(h, at)) = rec.delivered.get(node) else {
+                    continue;
+                };
                 hops.record(h as f64);
                 max_hops = max_hops.max(h);
                 let lat = at.since(rec.published_at).ticks();
@@ -451,6 +759,142 @@ mod tests {
         let m2 = m.clone();
         m2.register_event(TopicId(1), SimTime(0), vec![n(0)]);
         assert_eq!(m.snapshot().published, 1);
+    }
+}
+
+#[cfg(test)]
+mod forensics_tests {
+    use super::*;
+    use vitis_sim::trace::Trace;
+
+    fn n(i: u32) -> NodeIdx {
+        NodeIdx(i)
+    }
+
+    #[test]
+    fn hop_path_extends_immutably_and_renders() {
+        let p0 = HopPath::origin(n(4));
+        let p1 = p0.extend(n(9));
+        let p2 = p1.extend(n(2));
+        assert_eq!(p0.nodes(), &[n(4)]);
+        assert_eq!(p1.nodes(), &[n(4), n(9)]);
+        assert_eq!(p2.render(), "4>9>2");
+        assert_eq!(p2.len(), 3);
+        let empty = HopPath::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.render(), "");
+    }
+
+    #[test]
+    fn traced_monitor_emits_causal_records() {
+        let m = Monitor::new();
+        let trace = Trace::shared(64);
+        m.set_trace(Some(trace.clone()));
+        let e = m.register_event(TopicId(3), SimTime(10), vec![n(1), n(2)]);
+        m.trace_publish(e, n(0));
+        m.record_forward(e, n(0), n(1), 1, SimTime(11));
+        let path = HopPath::origin(n(0)).extend(n(1));
+        m.record_delivery_traced(e, n(1), 1, SimTime(12), &path);
+        // A duplicate arrival and an unexpected node emit nothing extra.
+        m.record_delivery_traced(e, n(1), 2, SimTime(13), &path);
+        m.record_delivery_traced(e, n(9), 1, SimTime(12), &path);
+        let evs: Vec<TraceEvent> = trace.borrow().events().cloned().collect();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs[0],
+            TraceEvent::PubEvent {
+                now: 10,
+                event: e.0,
+                topic: 3,
+                node: 0,
+                expected: 2
+            }
+        );
+        assert_eq!(
+            evs[1],
+            TraceEvent::Fwd {
+                now: 11,
+                event: e.0,
+                from: 0,
+                to: 1,
+                hop: 1
+            }
+        );
+        assert_eq!(
+            evs[2],
+            TraceEvent::DeliverEvent {
+                now: 12,
+                event: e.0,
+                node: 1,
+                hops: 1,
+                latency: 2,
+                path: "0>1".to_string()
+            }
+        );
+        // Aggregates are unaffected by tracing.
+        let s = m.snapshot();
+        assert_eq!((s.expected, s.delivered), (2, 1));
+    }
+
+    #[test]
+    fn untraced_forensics_calls_are_no_ops() {
+        let m = Monitor::new();
+        let e = m.register_event(TopicId(0), SimTime(0), vec![n(1)]);
+        m.trace_publish(e, n(0));
+        m.record_forward(e, n(0), n(1), 1, SimTime(1));
+        m.record_delivery_traced(e, n(1), 1, SimTime(2), &HopPath::origin(n(0)));
+        assert_eq!(m.snapshot().delivered, 1);
+    }
+
+    #[test]
+    fn attribute_losses_counts_sum_to_missed_and_emit_drops() {
+        let m = Monitor::new();
+        let trace = Trace::shared(64);
+        m.set_trace(Some(trace.clone()));
+        let e = m.register_event(TopicId(0), SimTime(0), vec![n(1), n(2), n(3)]);
+        m.record_delivery(e, n(1), 1, SimTime(5));
+        let report = m.attribute_losses(SimTime(100), |miss| {
+            assert_eq!(miss.event, e);
+            assert_eq!(miss.topic, TopicId(0));
+            assert_eq!(miss.delivered, &[n(1)]);
+            if miss.subscriber == n(2) {
+                LossReason::SubscriberChurned
+            } else {
+                LossReason::NoGateway
+            }
+        });
+        assert_eq!(report.expected, 3);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.missed(), 2);
+        assert_eq!(report.count(LossReason::SubscriberChurned), 1);
+        assert_eq!(report.count(LossReason::NoGateway), 1);
+        let total: u64 = report.by_reason.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, report.missed());
+        let drops = trace
+            .borrow()
+            .events()
+            .filter(|ev| matches!(ev, TraceEvent::DropEvent { .. }))
+            .count();
+        assert_eq!(drops, 2);
+    }
+
+    #[test]
+    fn attribute_losses_with_full_delivery_is_empty() {
+        let m = Monitor::new();
+        let e = m.register_event(TopicId(0), SimTime(0), vec![n(1)]);
+        m.record_delivery(e, n(1), 1, SimTime(1));
+        let report = m.attribute_losses(SimTime(9), |_| unreachable!("no misses"));
+        assert_eq!(report.missed(), 0);
+        let total: u64 = report.by_reason.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn loss_reasons_round_trip_their_names() {
+        for r in LossReason::ALL {
+            assert_eq!(LossReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(LossReason::parse("bogus"), None);
     }
 }
 

@@ -1,7 +1,7 @@
 //! The Vitis wire protocol.
 
 use crate::gateway::Proposal;
-use crate::monitor::EventId;
+use crate::monitor::{EventId, HopPath};
 use crate::topic::{Subs, TopicId};
 use std::rc::Rc;
 use vitis_overlay::entry::Entry;
@@ -9,7 +9,7 @@ use vitis_overlay::entry::Entry;
 /// A published-event notification as it travels the overlay. The paper
 /// separates a small notification from a payload pull over the same path;
 /// we model the combined transfer as one data-plane message.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Notification {
     /// The event being disseminated.
     pub event: EventId,
@@ -17,6 +17,10 @@ pub struct Notification {
     pub topic: TopicId,
     /// Hops taken from the publisher to the receiving node.
     pub hops: u32,
+    /// Causal provenance: slots visited by this copy, publisher first.
+    /// Forensic metadata only — excluded from wire-size accounting (the
+    /// real protocol does not ship it), never consulted for routing.
+    pub path: HopPath,
 }
 
 /// The periodic profile/heartbeat message (Algorithm 6): the sender's

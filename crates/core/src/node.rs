@@ -5,7 +5,7 @@
 
 use crate::config::{SamplingService, VitisConfig};
 use crate::gateway::{revise_proposal, Proposal};
-use crate::monitor::{EventId, Monitor};
+use crate::monitor::{EventId, HopPath, Monitor};
 use crate::msg::{wire, Notification, ProfileMsg, VitisMsg};
 use crate::relay::RelayTable;
 use crate::topic::{RateTable, Subs, TopicId};
@@ -332,7 +332,9 @@ impl VitisNode {
             }
         }
         for t in targets {
-            ctx.send(t, VitisMsg::Notification(notif));
+            self.monitor
+                .record_forward(notif.event, self.addr, t, notif.hops, ctx.now);
+            ctx.send(t, VitisMsg::Notification(notif.clone()));
         }
     }
 
@@ -342,12 +344,21 @@ impl VitisNode {
         if !self.seen.insert(notif.event) {
             return;
         }
+        // Extend the causal path with this node once; the delivery record
+        // and every forwarded copy share it.
+        let path_here = notif.path.extend(self.addr);
         if interested {
-            self.monitor
-                .record_delivery(notif.event, self.addr, notif.hops, ctx.now);
+            self.monitor.record_delivery_traced(
+                notif.event,
+                self.addr,
+                notif.hops,
+                ctx.now,
+                &path_here,
+            );
         }
         let fwd = Notification {
             hops: notif.hops + 1,
+            path: path_here,
             ..notif
         };
         self.forward_notification(ctx, Some(from), fwd);
@@ -387,6 +398,7 @@ impl VitisNode {
             event,
             topic,
             hops: 1,
+            path: HopPath::origin(self.addr),
         };
         self.forward_notification(ctx, None, notif);
     }

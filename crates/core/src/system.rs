@@ -4,13 +4,14 @@
 
 use crate::config::VitisConfig;
 use crate::harness::Workload;
-use crate::monitor::{EventId, Monitor, PubSubStats};
+use crate::monitor::{EventId, LossReason, LossReport, Monitor, PubSubStats};
 use crate::msg::VitisMsg;
 use crate::node::VitisNode;
 use crate::topic::{RateTable, TopicId, TopicSet};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::HashMap;
 use std::rc::Rc;
 use vitis_overlay::entry::Entry;
 use vitis_overlay::graph::Graph;
@@ -60,9 +61,19 @@ pub trait PubSub {
     /// over nodes that received at least `min_msgs` data-plane messages.
     fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64>;
 
-    /// Install a shared trace into the system's engine; lifecycle and
-    /// message events are recorded into it from now on.
+    /// Install a shared trace into the system's engine **and** its
+    /// monitor: lifecycle and message events are recorded engine-side,
+    /// and per-event forensics records (`pub_event` / `fwd` /
+    /// `deliver_event` / `drop_event`) are recorded monitor-side, all
+    /// into the same ring buffer.
     fn install_trace(&mut self, trace: TraceHandle);
+
+    /// Classify every missed `(event, subscriber)` pair of the current
+    /// window against the system's present structural state (see
+    /// [`LossReason`]). Per-reason counts sum exactly to
+    /// `expected - delivered`; when a trace is installed each miss also
+    /// emits a `drop_event` record.
+    fn loss_report(&self) -> LossReport;
 
     /// Sample the overlay's structural health (ring consistency, view
     /// staleness, subscriber clustering). All three systems fill what
@@ -320,11 +331,56 @@ impl VitisSystem {
             engine.joined_at(NodeIdx(s))
         });
         let event = self.monitor.register_event(topic, now, expected);
+        self.monitor.trace_publish(event, NodeIdx(publisher));
         self.engine.inject(
             NodeIdx(publisher),
             VitisMsg::PublishCmd { event, topic },
         );
         Some(event)
+    }
+
+    /// Classify one missed `(event, subscriber)` pair against the current
+    /// overlay structure. `graph` is the overlay snapshot, `comps` the
+    /// alive-subscriber components of the miss's topic within it.
+    fn classify_miss(
+        &self,
+        comps: &[Vec<u32>],
+        rendezvous_claims: usize,
+        miss: &crate::monitor::MissContext<'_>,
+    ) -> LossReason {
+        if !self.engine.is_alive(miss.subscriber) {
+            return LossReason::SubscriberChurned;
+        }
+        let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
+            // Alive but absent from every component: resubscribed after
+            // publish or otherwise outside the ground truth — treat as
+            // disconnected.
+            return LossReason::PartitionedCluster;
+        };
+        if comp
+            .iter()
+            .any(|&x| miss.delivered.binary_search(&NodeIdx(x)).is_ok())
+        {
+            // The event reached this connected cluster but forwarding
+            // stopped before covering it.
+            return LossReason::IncompleteFlood;
+        }
+        let gateways: Vec<&VitisNode> = comp
+            .iter()
+            .filter_map(|&x| self.engine.node(NodeIdx(x)))
+            .filter(|n| n.is_gateway(miss.topic))
+            .collect();
+        if gateways.is_empty() {
+            return LossReason::NoGateway;
+        }
+        if !gateways.iter().any(|g| g.relay_table().has(miss.topic)) {
+            return LossReason::RelayBroken;
+        }
+        match rendezvous_claims {
+            0 => LossReason::RelayBroken, // relay chain never terminated
+            1 => LossReason::PartitionedCluster,
+            _ => LossReason::RingMisroute, // conflicting rendezvous points
+        }
     }
 
     /// Fraction of online nodes whose successor pointer matches the true
@@ -430,7 +486,39 @@ impl PubSub for VitisSystem {
     }
 
     fn install_trace(&mut self, trace: TraceHandle) {
+        self.monitor.set_trace(Some(trace.clone()));
         self.engine.set_trace(trace);
+    }
+
+    fn loss_report(&self) -> LossReport {
+        let graph = self.overlay_graph();
+        // Lazily computed per-topic state, shared across the misses of a
+        // topic: alive-subscriber components and rendezvous-claim counts.
+        let mut comps_by_topic: HashMap<TopicId, Vec<Vec<u32>>> = HashMap::new();
+        let mut rdv_by_topic: HashMap<TopicId, usize> = HashMap::new();
+        self.monitor.attribute_losses(self.engine.now(), |miss| {
+            let comps = comps_by_topic.entry(miss.topic).or_insert_with(|| {
+                let subs: Vec<u32> = self
+                    .workload
+                    .subscribers(miss.topic)
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.engine.is_alive(NodeIdx(s)))
+                    .collect();
+                graph.components_within(&subs)
+            });
+            let rdv = *rdv_by_topic.entry(miss.topic).or_insert_with(|| {
+                self.engine
+                    .alive_nodes()
+                    .filter(|(_, n)| {
+                        n.relay_table()
+                            .get(miss.topic)
+                            .is_some_and(|e| e.is_rendezvous())
+                    })
+                    .count()
+            });
+            self.classify_miss(comps, rdv, miss)
+        })
     }
 
     fn health_probe(&self) -> HealthProbe {
@@ -563,6 +651,107 @@ mod tests {
         sys.run_rounds(6);
         let s = sys.stats();
         assert!(s.hit_ratio > 0.97, "hit ratio after rejoin {}", s.hit_ratio);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        use vitis_sim::trace::Trace;
+        let run = |traced: bool| {
+            let mut sys = random_system(120, 15, 4, 17);
+            if traced {
+                sys.install_trace(Trace::shared(1 << 14));
+            }
+            sys.run_rounds(25);
+            sys.reset_metrics();
+            for t in 0..15 {
+                sys.publish(TopicId(t));
+            }
+            sys.run_rounds(5);
+            let s = sys.stats();
+            (
+                s.delivered,
+                s.expected,
+                s.useful_msgs,
+                s.relay_msgs,
+                s.mean_hops.to_bits(),
+                s.mean_latency_ticks.to_bits(),
+                s.control_sent,
+                s.data_sent,
+            )
+        };
+        assert_eq!(run(false), run(true), "forensics tracing must be inert");
+    }
+
+    #[test]
+    fn loss_report_counts_sum_to_missed_pairs() {
+        use vitis_sim::trace::{Trace, TraceEvent};
+        let mut sys = random_system(150, 15, 4, 23);
+        let trace = Trace::shared(1 << 16);
+        sys.install_trace(trace.clone());
+        sys.run_rounds(25);
+        sys.reset_metrics();
+        for t in 0..15 {
+            sys.publish(TopicId(t));
+        }
+        // Crash a fifth of the network right after publishing so some
+        // expected subscribers can never be reached.
+        for logical in 0..30 {
+            sys.set_online(logical, false);
+        }
+        sys.run_rounds(5);
+        let s = sys.stats();
+        let report = sys.loss_report();
+        assert_eq!(report.expected, s.expected);
+        assert_eq!(report.delivered, s.delivered);
+        let total: u64 = report.by_reason.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, s.expected - s.delivered, "every miss classified");
+        assert!(report.missed() > 0, "the crash should cause misses");
+        assert!(
+            report.count(LossReason::SubscriberChurned) > 0,
+            "crashed subscribers should be attributed to churn: {:?}",
+            report.by_reason
+        );
+        // Each miss produced exactly one drop_event forensics record.
+        let drops = trace
+            .borrow()
+            .events()
+            .filter(|ev| matches!(ev, TraceEvent::DropEvent { .. }))
+            .count() as u64;
+        assert_eq!(drops, report.missed());
+    }
+
+    #[test]
+    fn traced_run_reconstructs_delivery_paths() {
+        use vitis_sim::trace::{Trace, TraceEvent};
+        let mut sys = random_system(100, 10, 3, 7);
+        sys.run_rounds(25);
+        sys.install_trace(Trace::shared(1 << 16));
+        sys.reset_metrics();
+        let e = sys.publish(TopicId(0)).expect("publishable");
+        sys.run_rounds(4);
+        let trace = sys.engine().trace_handle().expect("installed");
+        let t = trace.borrow();
+        let mut pub_seen = false;
+        let mut delivers = 0u64;
+        let mut fwds = 0u64;
+        for ev in t.events() {
+            match ev {
+                TraceEvent::PubEvent { event, .. } if *event == e.0 => pub_seen = true,
+                TraceEvent::DeliverEvent { event, path, hops, .. } if *event == e.0 => {
+                    delivers += 1;
+                    // Path carries publisher..=subscriber: hops+1 slots.
+                    let len = path.split('>').count() as u32;
+                    assert_eq!(len, hops + 1, "path {path} vs hops {hops}");
+                }
+                TraceEvent::Fwd { event, .. } if *event == e.0 => fwds += 1,
+                _ => {}
+            }
+        }
+        assert!(pub_seen, "pub_event recorded");
+        let (expected, delivered) = sys.monitor().event_progress(e).unwrap();
+        assert!(expected > 0);
+        assert_eq!(delivers as usize, delivered);
+        assert!(fwds as usize >= delivered, "every delivery rode a forward");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod analyze;
 pub mod clusters;
 pub mod fig10;
 pub mod headline;

@@ -3,6 +3,8 @@
 //! ```text
 //! vitis-experiments [FIGURES] [--nodes N] [--seed S] [--paper | --quick]
 //!                   [--metrics-out FILE] [--trace-out FILE]
+//!                   [--trace-capacity N]
+//! vitis-experiments analyze TRACE.jsonl [--dot FILE.dot]
 //!
 //! FIGURES: any of fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          ablations, or "all" (default)
@@ -11,7 +13,8 @@
 //! `--metrics-out` writes one JSONL record per measurement run (phase
 //! timers, final stats with the per-kind traffic split, per-round
 //! convergence samples); `--trace-out` writes the per-run event traces
-//! (round boundaries, churn, messages, health probes). Both schemas are
+//! (round boundaries, churn, messages, health probes, and the delivery
+//! forensics records that `analyze` reads back). Both schemas are
 //! documented in `docs/METRICS.md`.
 
 use std::process::ExitCode;
@@ -20,6 +23,9 @@ use vitis_experiments::{ablations, clusters, headline, fig10, fig11, fig12, fig4
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("analyze") {
+        return run_analyze(&args[1..]);
+    }
     let mut figures: Vec<String> = Vec::new();
     let mut nodes: Option<usize> = None;
     let mut seed: u64 = 42;
@@ -50,6 +56,10 @@ fn main() -> ExitCode {
             "--trace-out" => match it.next() {
                 Some(p) => trace_out = Some(p.clone()),
                 None => return usage("--trace-out needs a file path"),
+            },
+            "--trace-capacity" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => Obs::global().set_trace_capacity(n),
+                _ => return usage("--trace-capacity needs a positive integer"),
             },
             "--paper" => preset = Some("paper"),
             "--quick" => preset = Some("quick"),
@@ -153,6 +163,41 @@ fn write_jsonl(path: &str, lines: Vec<String>) -> std::io::Result<()> {
     w.flush()
 }
 
+/// The `analyze` subcommand: offline delivery forensics over a
+/// `--trace-out` dump (report to stdout, optional Graphviz export).
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut path: Option<&String> = None;
+    let mut dot: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dot" => match it.next() {
+                Some(p) => dot = Some(p),
+                None => return usage("--dot needs a file path"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ if path.is_none() && !a.starts_with('-') => path = Some(a),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("analyze needs a trace file (from --trace-out)");
+    };
+    match vitis_experiments::analyze::run_file(path, dot.map(String::as_str)) {
+        Ok(report) => {
+            print!("{report}");
+            if let Some(d) = dot {
+                eprintln!("wrote dissemination trees to {d}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -160,7 +205,11 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: vitis-experiments [fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 clusters headline ablations | all]\n\
          \t[--nodes N] [--seed S] [--replicas R] [--paper | --quick]\n\
-         \t[--metrics-out FILE.jsonl] [--trace-out FILE.jsonl]   (schema: docs/METRICS.md)"
+         \t[--metrics-out FILE.jsonl] [--trace-out FILE.jsonl] [--trace-capacity N]\n\
+         \t(schema: docs/METRICS.md)\n\
+         \n\
+         \tvitis-experiments analyze TRACE.jsonl [--dot FILE.dot]\n\
+         \t(delivery forensics: per-event trees, hop/latency percentiles, loss attribution)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -11,15 +11,16 @@
 //!
 //! The schema of both sinks is documented in `docs/METRICS.md`.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use vitis::monitor::PubSubStats;
 use vitis_sim::trace::{push_f64, push_json_str, HealthProbe, Trace, TraceEvent, TraceHandle};
 
-/// Ring-buffer capacity of the per-run event trace. Old events are
-/// evicted (and counted) beyond this; the `trace_meta` record reports
-/// how many.
+/// Default ring-buffer capacity of the per-run event trace. Old events
+/// are evicted (and counted) beyond this; the `trace_meta` record reports
+/// how many, and the CLI's `--trace-capacity` flag overrides it via
+/// [`Obs::set_trace_capacity`].
 pub const TRACE_CAPACITY: usize = 65_536;
 
 /// One per-round convergence sample taken during the measure/drain
@@ -45,6 +46,7 @@ pub struct RoundSample {
 pub struct Obs {
     metrics_on: AtomicBool,
     trace_on: AtomicBool,
+    trace_capacity: AtomicUsize,
     run_counter: AtomicU64,
     metrics_lines: Mutex<Vec<String>>,
     trace_lines: Mutex<Vec<String>>,
@@ -53,6 +55,7 @@ pub struct Obs {
 static GLOBAL: Obs = Obs {
     metrics_on: AtomicBool::new(false),
     trace_on: AtomicBool::new(false),
+    trace_capacity: AtomicUsize::new(TRACE_CAPACITY),
     run_counter: AtomicU64::new(0),
     metrics_lines: Mutex::new(Vec::new()),
     trace_lines: Mutex::new(Vec::new()),
@@ -79,6 +82,18 @@ impl Obs {
     /// Whether per-run event traces are being collected.
     pub fn trace_on(&self) -> bool {
         self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// Per-run trace ring capacity (`--trace-capacity`, default
+    /// [`TRACE_CAPACITY`]).
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Override the per-run trace ring capacity (the CLI calls this once,
+    /// before any run starts).
+    pub fn set_trace_capacity(&self, cap: usize) {
+        self.trace_capacity.store(cap.max(1), Ordering::Relaxed);
     }
 
     /// Open a labelled run scope. `figure` names the experiment module
@@ -134,10 +149,15 @@ impl RunCtx {
         if !self.obs.trace_on() {
             return None;
         }
-        let handle = Trace::shared(TRACE_CAPACITY);
+        let handle = Trace::shared(self.obs.trace_capacity());
         sys.install_trace(handle.clone());
         self.trace = Some(handle.clone());
         Some(handle)
+    }
+
+    /// Whether a trace is installed on this run scope.
+    pub fn has_trace(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Close the current wall-clock phase under `name` (milliseconds
@@ -203,6 +223,15 @@ impl RunCtx {
         }
         if let Some(t) = &self.trace {
             let t = t.borrow();
+            if t.evicted() > 0 {
+                eprintln!(
+                    "warning: trace for {} overflowed: {} of {} events evicted \
+                     (raise --trace-capacity; see the trace_meta record)",
+                    self.run,
+                    t.evicted(),
+                    t.total_recorded()
+                );
+            }
             let mut lines = self.obs.trace_lines.lock().expect("obs lock");
             lines.push(trace_meta_line(&self.run, &t));
             for ev in t.events() {
@@ -225,16 +254,14 @@ fn stamp_run(run: &str, event_json: &str) -> String {
 /// The `trace_meta` record heading a run's trace: capacity and how many
 /// events the ring buffer evicted (0 means the trace is complete).
 fn trace_meta_line(run: &str, t: &Trace) -> String {
-    let mut out = String::new();
-    out.push_str("{\"run\":");
-    push_json_str(&mut out, run);
-    out.push_str(&format!(
-        ",\"type\":\"trace_meta\",\"capacity\":{},\"recorded\":{},\"evicted\":{}}}",
-        t.capacity(),
-        t.total_recorded(),
-        t.evicted()
-    ));
-    out
+    stamp_run(
+        run,
+        &vitis_sim::trace::event_to_json(&TraceEvent::TraceMeta {
+            capacity: t.capacity() as u64,
+            recorded: t.total_recorded(),
+            evicted: t.evicted(),
+        }),
+    )
 }
 
 fn render_metrics_line(
@@ -338,7 +365,7 @@ mod tests {
         let line = stamp_run("fig6/vitis#0", &vitis_sim::trace::event_to_json(&ev));
         assert!(line.starts_with("{\"run\":\"fig6/vitis#0\","));
         // The run field is extra; the trace parser must still accept it.
-        assert_eq!(vitis_sim::trace::parse_event(&line), Some(ev));
+        assert_eq!(vitis_sim::trace::parse_event(&line), Ok(ev));
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub fn measure_obs(
         ctx.sample(round, &*sys);
     }
     ctx.phase("drain");
+    if ctx.has_trace() {
+        // Close the measurement window with the loss-attribution pass:
+        // every still-missed (event, subscriber) pair gets a classified
+        // `drop_event` record in the installed trace.
+        let _ = sys.loss_report();
+    }
     let stats = sys.stats();
     ctx.finish(scale, &stats);
     stats

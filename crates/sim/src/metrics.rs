@@ -208,6 +208,36 @@ impl Histogram {
             .map(|i| (self.bin_lower(i), self.fraction(i)))
             .collect()
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) of the recorded sample by
+    /// linear interpolation within the first bin whose cumulative count
+    /// reaches `q · total`.
+    ///
+    /// Returns `NaN` for an empty histogram. Quantiles that land in the
+    /// overflow bin return `upper` (the histogram cannot see beyond its
+    /// range); `q` outside `[0, 1]` is clamped.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        let bins = self.num_bins();
+        let width = self.upper / bins as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c;
+            if next as f64 >= target && c > 0 {
+                if i == bins {
+                    return self.upper; // overflow bin: values are >= upper
+                }
+                let within = (target - cum as f64) / c as f64;
+                return self.bin_lower(i) + width * within.clamp(0.0, 1.0);
+            }
+            cum = next;
+        }
+        self.upper
+    }
 }
 
 /// A `(time, value)` series, e.g. hit ratio sampled every hour of a churn
@@ -370,6 +400,56 @@ mod tests {
         // The bin edges cover [0, upper) exactly.
         assert_eq!(h.bin_lower(0), 0.0);
         assert_eq!(h.bin_lower(4), 8.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_nan() {
+        let h = Histogram::new(10, 100.0);
+        assert!(h.percentile(0.5).is_nan());
+        assert!(h.percentile(0.0).is_nan());
+        assert!(h.percentile(1.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_interpolates_within_bins() {
+        let mut h = Histogram::new(10, 100.0);
+        // 100 uniform samples at bin centers: 0.5, 1.5, ..., 99.5.
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        // Each bin holds 10 samples; the median lands mid-histogram.
+        let p50 = h.percentile(0.5);
+        assert!((p50 - 50.0).abs() < 10.0, "p50 was {p50}");
+        let p90 = h.percentile(0.9);
+        assert!((p90 - 90.0).abs() < 10.0, "p90 was {p90}");
+        // Quantiles are monotone in q.
+        assert!(h.percentile(0.25) <= h.percentile(0.75));
+        // Out-of-range q clamps instead of panicking.
+        assert!(h.percentile(-0.5) <= h.percentile(1.5));
+    }
+
+    #[test]
+    fn percentile_overflow_bin_saturates_at_upper() {
+        let mut h = Histogram::new(4, 8.0);
+        h.record(100.0); // overflow
+        h.record(200.0); // overflow
+        assert_eq!(h.percentile(0.5), 8.0);
+        assert_eq!(h.percentile(1.0), 8.0);
+        // Mixed: one in-range sample, one overflow — p25 stays in range.
+        let mut m = Histogram::new(4, 8.0);
+        m.record(1.0);
+        m.record(100.0);
+        assert!(m.percentile(0.25) < 8.0);
+        assert_eq!(m.percentile(1.0), 8.0);
+    }
+
+    #[test]
+    fn percentile_single_bin_sample() {
+        let mut h = Histogram::new(10, 100.0);
+        h.record(35.0);
+        let p = h.percentile(0.5);
+        // The lone sample's bin is [30, 40).
+        assert!((30.0..40.0).contains(&p), "p50 was {p}");
     }
 
     #[test]

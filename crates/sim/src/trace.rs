@@ -11,12 +11,21 @@
 //!
 //! Export is newline-delimited JSON (JSONL), one flat object per event;
 //! [`parse_event`] parses a line back into a [`TraceEvent`] so traces
-//! round-trip without any external serialization dependency. The schema is
+//! round-trip without any external serialization dependency. Malformed
+//! lines yield a typed [`ParseError`] rather than a panic. The schema is
 //! documented in `docs/METRICS.md` at the repository root.
+//!
+//! Beyond transport-level events, the trace carries **delivery forensics**:
+//! per-published-event causal records ([`TraceEvent::PubEvent`],
+//! [`TraceEvent::Fwd`], [`TraceEvent::DeliverEvent`]) plus loss
+//! attributions ([`TraceEvent::DropEvent`]) emitted at window close, so an
+//! offline analyzer can reconstruct each event's dissemination tree and
+//! explain every missed delivery.
 
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::fmt;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
@@ -267,6 +276,74 @@ pub enum TraceEvent {
         /// Wall-clock milliseconds.
         wall_ms: f64,
     },
+    /// Forensics: an event was published — the root of its delivery tree.
+    PubEvent {
+        /// Simulated time in ticks.
+        now: u64,
+        /// Monitor-assigned event id.
+        event: u64,
+        /// Topic the event was published under.
+        topic: u64,
+        /// Engine slot of the publisher.
+        node: u32,
+        /// Expected `(event, subscriber)` deliveries for this event.
+        expected: u64,
+    },
+    /// Forensics: one dissemination forward of an event between nodes.
+    Fwd {
+        /// Simulated time in ticks (send time).
+        now: u64,
+        /// Monitor-assigned event id.
+        event: u64,
+        /// Forwarding node's engine slot.
+        from: u32,
+        /// Destination engine slot.
+        to: u32,
+        /// Hop count the notification carries on this edge (1 = first
+        /// hop out of the publisher).
+        hop: u32,
+    },
+    /// Forensics: an interested subscriber received an event for the
+    /// first time.
+    DeliverEvent {
+        /// Simulated time in ticks (arrival).
+        now: u64,
+        /// Monitor-assigned event id.
+        event: u64,
+        /// Subscriber's engine slot.
+        node: u32,
+        /// Hops travelled by the first copy to arrive.
+        hops: u32,
+        /// Publish-to-arrival latency in ticks.
+        latency: u64,
+        /// The causal hop path, `>`-joined engine slots from publisher to
+        /// subscriber (e.g. `"0>5>12"`); empty when provenance was not
+        /// carried.
+        path: String,
+    },
+    /// Forensics: a missed `(event, subscriber)` pair, classified at
+    /// window close by the loss-attribution pass.
+    DropEvent {
+        /// Simulated time of the attribution pass in ticks.
+        now: u64,
+        /// Monitor-assigned event id.
+        event: u64,
+        /// The subscriber that never received the event.
+        node: u32,
+        /// Stable snake_case drop-reason name (e.g. `"no_gateway"`).
+        reason: Cow<'static, str>,
+    },
+    /// Ring-buffer accounting for a run's trace, written by the export
+    /// harness so truncation is detectable offline.
+    TraceMeta {
+        /// Ring capacity in events.
+        capacity: u64,
+        /// Events ever recorded (retained + evicted).
+        recorded: u64,
+        /// Events evicted by the ring bound; `> 0` means the file is
+        /// truncated to the newest `capacity` events.
+        evicted: u64,
+    },
 }
 
 /// Shared handle to a [`Trace`]; the engine and the harness both record
@@ -506,6 +583,68 @@ pub fn write_event(out: &mut String, ev: &TraceEvent) {
             push_f64(out, *wall_ms);
             out.push('}');
         }
+        TraceEvent::PubEvent {
+            now,
+            event,
+            topic,
+            node,
+            expected,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"pub_event\",\"now\":{now},\"event\":{event},\"topic\":{topic},\"node\":{node},\"expected\":{expected}}}"
+            );
+        }
+        TraceEvent::Fwd {
+            now,
+            event,
+            from,
+            to,
+            hop,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"fwd\",\"now\":{now},\"event\":{event},\"from\":{from},\"to\":{to},\"hop\":{hop}}}"
+            );
+        }
+        TraceEvent::DeliverEvent {
+            now,
+            event,
+            node,
+            hops,
+            latency,
+            path,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"deliver_event\",\"now\":{now},\"event\":{event},\"node\":{node},\"hops\":{hops},\"latency\":{latency},\"path\":"
+            );
+            push_json_str(out, path);
+            out.push('}');
+        }
+        TraceEvent::DropEvent {
+            now,
+            event,
+            node,
+            reason,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"drop_event\",\"now\":{now},\"event\":{event},\"node\":{node},\"reason\":"
+            );
+            push_json_str(out, reason);
+            out.push('}');
+        }
+        TraceEvent::TraceMeta {
+            capacity,
+            recorded,
+            evicted,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"trace_meta\",\"capacity\":{capacity},\"recorded\":{recorded},\"evicted\":{evicted}}}"
+            );
+        }
     }
 }
 
@@ -634,128 +773,231 @@ fn get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
-fn get_u64(fields: &[(String, JsonValue)], key: &str) -> Option<u64> {
-    match get(fields, key)? {
-        JsonValue::Num(n) if *n >= 0.0 => Some(*n as u64),
-        _ => None,
+/// Why a trace line failed to parse. Carried by [`parse_event`] /
+/// [`parse_stamped`] so offline tools can report *which* line is broken
+/// and *how* instead of silently skipping it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object (trace records never nest).
+    NotJson,
+    /// The object carries no string `"type"` field.
+    MissingType,
+    /// The `"type"` value names no known record type.
+    UnknownType(String),
+    /// A required field of the record type is absent.
+    MissingField(&'static str),
+    /// A field is present but has the wrong JSON type or an out-of-range
+    /// value (e.g. non-numeric `now`).
+    BadValue(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NotJson => write!(f, "line is not a flat JSON object"),
+            ParseError::MissingType => write!(f, "record has no string \"type\" field"),
+            ParseError::UnknownType(t) => write!(f, "unknown record type {t:?}"),
+            ParseError::MissingField(k) => write!(f, "missing required field {k:?}"),
+            ParseError::BadValue(k) => write!(f, "invalid value for field {k:?}"),
+        }
     }
 }
 
-fn get_u32(fields: &[(String, JsonValue)], key: &str) -> Option<u32> {
-    get_u64(fields, key).map(|v| v as u32)
+impl std::error::Error for ParseError {}
+
+fn req<'a>(
+    fields: &'a [(String, JsonValue)],
+    key: &'static str,
+) -> Result<&'a JsonValue, ParseError> {
+    get(fields, key).ok_or(ParseError::MissingField(key))
 }
 
-fn get_f64(fields: &[(String, JsonValue)], key: &str) -> Option<f64> {
-    match get(fields, key)? {
-        JsonValue::Num(n) => Some(*n),
-        JsonValue::Null => Some(f64::NAN),
-        _ => None,
+fn req_u64(fields: &[(String, JsonValue)], key: &'static str) -> Result<u64, ParseError> {
+    match req(fields, key)? {
+        JsonValue::Num(n) if *n >= 0.0 => Ok(*n as u64),
+        _ => Err(ParseError::BadValue(key)),
     }
 }
 
-fn get_bool(fields: &[(String, JsonValue)], key: &str) -> Option<bool> {
-    match get(fields, key)? {
-        JsonValue::Bool(b) => Some(*b),
-        _ => None,
+fn req_u32(fields: &[(String, JsonValue)], key: &'static str) -> Result<u32, ParseError> {
+    req_u64(fields, key).map(|v| v as u32)
+}
+
+fn req_f64(fields: &[(String, JsonValue)], key: &'static str) -> Result<f64, ParseError> {
+    match req(fields, key)? {
+        JsonValue::Num(n) => Ok(*n),
+        JsonValue::Null => Ok(f64::NAN), // non-finite floats export as null
+        _ => Err(ParseError::BadValue(key)),
     }
 }
 
-fn get_str<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a str> {
-    match get(fields, key)? {
-        JsonValue::Str(s) => Some(s),
-        _ => None,
+fn req_bool(fields: &[(String, JsonValue)], key: &'static str) -> Result<bool, ParseError> {
+    match req(fields, key)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(ParseError::BadValue(key)),
     }
 }
 
-fn get_opt_f64(fields: &[(String, JsonValue)], key: &str) -> Option<Option<f64>> {
-    match get(fields, key)? {
-        JsonValue::Num(n) => Some(Some(*n)),
-        JsonValue::Null => Some(None),
-        _ => None,
+fn req_str<'a>(
+    fields: &'a [(String, JsonValue)],
+    key: &'static str,
+) -> Result<&'a str, ParseError> {
+    match req(fields, key)? {
+        JsonValue::Str(s) => Ok(s),
+        _ => Err(ParseError::BadValue(key)),
     }
 }
 
-fn get_opt_u64(fields: &[(String, JsonValue)], key: &str) -> Option<Option<u64>> {
-    match get(fields, key)? {
-        JsonValue::Num(n) if *n >= 0.0 => Some(Some(*n as u64)),
-        JsonValue::Null => Some(None),
-        _ => None,
+fn req_opt_f64(
+    fields: &[(String, JsonValue)],
+    key: &'static str,
+) -> Result<Option<f64>, ParseError> {
+    match req(fields, key)? {
+        JsonValue::Num(n) => Ok(Some(*n)),
+        JsonValue::Null => Ok(None),
+        _ => Err(ParseError::BadValue(key)),
     }
 }
 
-/// Parse one JSONL line written by [`write_event`] back into a
-/// [`TraceEvent`]. Returns `None` on malformed input or an unknown
-/// record type. Extra fields (e.g. a `"run"` tag added by the experiment
-/// harness) are ignored.
-pub fn parse_event(line: &str) -> Option<TraceEvent> {
-    let fields = parse_flat_object(line)?;
-    let tag = |key: &str| -> Option<(Cow<'static, str>, TrafficClass)> {
-        Some((
-            Cow::Owned(get_str(&fields, key)?.to_string()),
-            TrafficClass::parse(get_str(&fields, "class")?)?,
+fn req_opt_u64(
+    fields: &[(String, JsonValue)],
+    key: &'static str,
+) -> Result<Option<u64>, ParseError> {
+    match req(fields, key)? {
+        JsonValue::Num(n) if *n >= 0.0 => Ok(Some(*n as u64)),
+        JsonValue::Null => Ok(None),
+        _ => Err(ParseError::BadValue(key)),
+    }
+}
+
+fn event_from_fields(fields: &[(String, JsonValue)]) -> Result<TraceEvent, ParseError> {
+    let ty = match get(fields, "type") {
+        Some(JsonValue::Str(s)) => s.as_str(),
+        Some(_) => return Err(ParseError::BadValue("type")),
+        None => return Err(ParseError::MissingType),
+    };
+    let tag = |key: &'static str| -> Result<(Cow<'static, str>, TrafficClass), ParseError> {
+        Ok((
+            Cow::Owned(req_str(fields, key)?.to_string()),
+            TrafficClass::parse(req_str(fields, "class")?)
+                .ok_or(ParseError::BadValue("class"))?,
         ))
     };
-    match get_str(&fields, "type")? {
-        "round" => Some(TraceEvent::Round {
-            round: get_u64(&fields, "round")?,
-            now: get_u64(&fields, "now")?,
-            alive: get_u64(&fields, "alive")?,
+    match ty {
+        "round" => Ok(TraceEvent::Round {
+            round: req_u64(fields, "round")?,
+            now: req_u64(fields, "now")?,
+            alive: req_u64(fields, "alive")?,
         }),
-        "join" => Some(TraceEvent::Join {
-            now: get_u64(&fields, "now")?,
-            node: get_u32(&fields, "node")?,
-            rejoin: get_bool(&fields, "rejoin")?,
+        "join" => Ok(TraceEvent::Join {
+            now: req_u64(fields, "now")?,
+            node: req_u32(fields, "node")?,
+            rejoin: req_bool(fields, "rejoin")?,
         }),
-        "leave" => Some(TraceEvent::Leave {
-            now: get_u64(&fields, "now")?,
-            node: get_u32(&fields, "node")?,
-            crash: get_bool(&fields, "crash")?,
+        "leave" => Ok(TraceEvent::Leave {
+            now: req_u64(fields, "now")?,
+            node: req_u32(fields, "node")?,
+            crash: req_bool(fields, "crash")?,
         }),
         "msg_send" => {
             let (kind, class) = tag("kind")?;
-            Some(TraceEvent::MsgSend {
-                now: get_u64(&fields, "now")?,
-                from: get_u32(&fields, "from")?,
-                to: get_u32(&fields, "to")?,
+            Ok(TraceEvent::MsgSend {
+                now: req_u64(fields, "now")?,
+                from: req_u32(fields, "from")?,
+                to: req_u32(fields, "to")?,
                 kind,
                 class,
             })
         }
         "msg_deliver" => {
             let (kind, class) = tag("kind")?;
-            Some(TraceEvent::MsgDeliver {
-                now: get_u64(&fields, "now")?,
-                from: get_u32(&fields, "from")?,
-                to: get_u32(&fields, "to")?,
+            Ok(TraceEvent::MsgDeliver {
+                now: req_u64(fields, "now")?,
+                from: req_u32(fields, "from")?,
+                to: req_u32(fields, "to")?,
                 kind,
                 class,
             })
         }
-        "health" => Some(TraceEvent::Health {
-            now: get_u64(&fields, "now")?,
+        "health" => Ok(TraceEvent::Health {
+            now: req_u64(fields, "now")?,
             probe: HealthProbe {
-                alive: get_u64(&fields, "alive")?,
-                mean_degree: get_f64(&fields, "mean_degree")?,
-                ring_accuracy: get_opt_f64(&fields, "ring_accuracy")?,
-                mean_view_age: get_opt_f64(&fields, "mean_view_age")?,
-                clusters: get_opt_u64(&fields, "clusters")?,
-                largest_cluster: get_opt_u64(&fields, "largest_cluster")?,
+                alive: req_u64(fields, "alive")?,
+                mean_degree: req_f64(fields, "mean_degree")?,
+                ring_accuracy: req_opt_f64(fields, "ring_accuracy")?,
+                mean_view_age: req_opt_f64(fields, "mean_view_age")?,
+                clusters: req_opt_u64(fields, "clusters")?,
+                largest_cluster: req_opt_u64(fields, "largest_cluster")?,
             },
         }),
-        "sample" => Some(TraceEvent::Sample {
-            round: get_u64(&fields, "round")?,
-            now: get_u64(&fields, "now")?,
-            hit_ratio: get_f64(&fields, "hit_ratio")?,
-            overhead_pct: get_f64(&fields, "overhead_pct")?,
-            delivered: get_u64(&fields, "delivered")?,
-            expected: get_u64(&fields, "expected")?,
+        "sample" => Ok(TraceEvent::Sample {
+            round: req_u64(fields, "round")?,
+            now: req_u64(fields, "now")?,
+            hit_ratio: req_f64(fields, "hit_ratio")?,
+            overhead_pct: req_f64(fields, "overhead_pct")?,
+            delivered: req_u64(fields, "delivered")?,
+            expected: req_u64(fields, "expected")?,
         }),
-        "phase" => Some(TraceEvent::Phase {
-            name: Cow::Owned(get_str(&fields, "name")?.to_string()),
-            wall_ms: get_f64(&fields, "wall_ms")?,
+        "phase" => Ok(TraceEvent::Phase {
+            name: Cow::Owned(req_str(fields, "name")?.to_string()),
+            wall_ms: req_f64(fields, "wall_ms")?,
         }),
-        _ => None,
+        "pub_event" => Ok(TraceEvent::PubEvent {
+            now: req_u64(fields, "now")?,
+            event: req_u64(fields, "event")?,
+            topic: req_u64(fields, "topic")?,
+            node: req_u32(fields, "node")?,
+            expected: req_u64(fields, "expected")?,
+        }),
+        "fwd" => Ok(TraceEvent::Fwd {
+            now: req_u64(fields, "now")?,
+            event: req_u64(fields, "event")?,
+            from: req_u32(fields, "from")?,
+            to: req_u32(fields, "to")?,
+            hop: req_u32(fields, "hop")?,
+        }),
+        "deliver_event" => Ok(TraceEvent::DeliverEvent {
+            now: req_u64(fields, "now")?,
+            event: req_u64(fields, "event")?,
+            node: req_u32(fields, "node")?,
+            hops: req_u32(fields, "hops")?,
+            latency: req_u64(fields, "latency")?,
+            path: req_str(fields, "path")?.to_string(),
+        }),
+        "drop_event" => Ok(TraceEvent::DropEvent {
+            now: req_u64(fields, "now")?,
+            event: req_u64(fields, "event")?,
+            node: req_u32(fields, "node")?,
+            reason: Cow::Owned(req_str(fields, "reason")?.to_string()),
+        }),
+        "trace_meta" => Ok(TraceEvent::TraceMeta {
+            capacity: req_u64(fields, "capacity")?,
+            recorded: req_u64(fields, "recorded")?,
+            evicted: req_u64(fields, "evicted")?,
+        }),
+        other => Err(ParseError::UnknownType(other.to_string())),
     }
+}
+
+/// Parse one JSONL line written by [`write_event`] back into a
+/// [`TraceEvent`]. Extra fields (e.g. the `"run"` tag added by the
+/// experiment harness) are ignored; malformed lines yield a typed
+/// [`ParseError`] instead of a panic.
+pub fn parse_event(line: &str) -> Result<TraceEvent, ParseError> {
+    let fields = parse_flat_object(line).ok_or(ParseError::NotJson)?;
+    event_from_fields(&fields)
+}
+
+/// Like [`parse_event`] but also returns the `"run"` stamp the experiment
+/// harness prefixes to exported lines (`None` for unstamped traces). The
+/// offline analyzer uses the stamp to group a multi-run file.
+pub fn parse_stamped(line: &str) -> Result<(Option<String>, TraceEvent), ParseError> {
+    let fields = parse_flat_object(line).ok_or(ParseError::NotJson)?;
+    let run = match get(&fields, "run") {
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    Ok((run, event_from_fields(&fields)?))
 }
 
 #[cfg(test)]
@@ -827,6 +1069,39 @@ mod tests {
                 name: Cow::Borrowed("warmup"),
                 wall_ms: 1523.75,
             },
+            TraceEvent::PubEvent {
+                now: 300,
+                event: 7,
+                topic: 42,
+                node: 11,
+                expected: 58,
+            },
+            TraceEvent::Fwd {
+                now: 301,
+                event: 7,
+                from: 11,
+                to: 29,
+                hop: 1,
+            },
+            TraceEvent::DeliverEvent {
+                now: 330,
+                event: 7,
+                node: 29,
+                hops: 2,
+                latency: 30,
+                path: "11>5>29".to_string(),
+            },
+            TraceEvent::DropEvent {
+                now: 900,
+                event: 7,
+                node: 88,
+                reason: Cow::Borrowed("no_gateway"),
+            },
+            TraceEvent::TraceMeta {
+                capacity: 65536,
+                recorded: 812344,
+                evicted: 746808,
+            },
         ]
     }
 
@@ -835,7 +1110,7 @@ mod tests {
         for ev in sample_events() {
             let line = event_to_json(&ev);
             let back = parse_event(&line)
-                .unwrap_or_else(|| panic!("parse failed for {line}"));
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
             assert_eq!(back, ev, "round trip mismatch for {line}");
         }
     }
@@ -845,7 +1120,7 @@ mod tests {
         let line = r#"{"run":"fig6/vitis","type":"round","round":1,"now":64,"alive":10}"#;
         assert_eq!(
             parse_event(line),
-            Some(TraceEvent::Round {
+            Ok(TraceEvent::Round {
                 round: 1,
                 now: 64,
                 alive: 10
@@ -854,12 +1129,52 @@ mod tests {
     }
 
     #[test]
-    fn parser_rejects_malformed_input() {
-        assert_eq!(parse_event(""), None);
-        assert_eq!(parse_event("{"), None);
-        assert_eq!(parse_event("{\"type\":\"nope\"}"), None);
-        assert_eq!(parse_event("{\"type\":\"round\"}"), None); // missing fields
-        assert_eq!(parse_event("not json at all"), None);
+    fn parse_stamped_extracts_the_run_id() {
+        let line = r#"{"run":"fig6/vitis-low#3","type":"round","round":1,"now":64,"alive":10}"#;
+        let (run, ev) = parse_stamped(line).unwrap();
+        assert_eq!(run.as_deref(), Some("fig6/vitis-low#3"));
+        assert!(matches!(ev, TraceEvent::Round { round: 1, .. }));
+        // Unstamped lines parse with no run id.
+        let (run, _) =
+            parse_stamped(r#"{"type":"round","round":1,"now":64,"alive":10}"#).unwrap();
+        assert_eq!(run, None);
+        // Errors propagate.
+        assert_eq!(parse_stamped("nope"), Err(ParseError::NotJson));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input_with_typed_errors() {
+        assert_eq!(parse_event(""), Err(ParseError::NotJson));
+        assert_eq!(parse_event("{"), Err(ParseError::NotJson));
+        assert_eq!(parse_event("not json at all"), Err(ParseError::NotJson));
+        // Unknown record type.
+        assert_eq!(
+            parse_event("{\"type\":\"nope\"}"),
+            Err(ParseError::UnknownType("nope".to_string()))
+        );
+        // No type field at all.
+        assert_eq!(parse_event("{\"now\":3}"), Err(ParseError::MissingType));
+        assert_eq!(
+            parse_event("{\"type\":7}"),
+            Err(ParseError::BadValue("type"))
+        );
+        // Missing required field.
+        assert_eq!(
+            parse_event("{\"type\":\"round\"}"),
+            Err(ParseError::MissingField("round"))
+        );
+        assert_eq!(
+            parse_event(r#"{"type":"round","round":1,"alive":2}"#),
+            Err(ParseError::MissingField("now"))
+        );
+        // Non-numeric `now`.
+        assert_eq!(
+            parse_event(r#"{"type":"round","round":1,"now":"soon","alive":2}"#),
+            Err(ParseError::BadValue("now"))
+        );
+        // Errors render as human-readable messages.
+        assert!(ParseError::BadValue("now").to_string().contains("now"));
+        assert!(ParseError::UnknownType("x".into()).to_string().contains("x"));
     }
 
     #[test]
@@ -869,7 +1184,7 @@ mod tests {
             wall_ms: 1.0,
         };
         let line = event_to_json(&ev);
-        assert_eq!(parse_event(&line), Some(ev));
+        assert_eq!(parse_event(&line), Ok(ev));
     }
 
     #[test]
@@ -905,7 +1220,7 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), t.len());
         for (line, ev) in lines.iter().zip(t.events()) {
-            assert_eq!(parse_event(line).as_ref(), Some(ev));
+            assert_eq!(parse_event(line).as_ref(), Ok(ev));
         }
     }
 
