@@ -12,8 +12,11 @@
 //!   traffic, but a bounded degree cannot keep every topic subgraph
 //!   connected and the unbounded variant needs arbitrarily large degrees.
 //!
-//! [`systems`] wraps each into a whole-network driver implementing
-//! [`vitis::system::PubSub`].
+//! [`systems`] exposes each as a [`vitis::runtime::PubSubProtocol`]
+//! adapter ([`RvrProtocol`], [`OptProtocol`]) plugged into the shared
+//! [`vitis::runtime::SystemRuntime`], which provides the whole-network
+//! [`vitis::runtime::PubSub`] driver; [`RvrSystem`] and [`OptSystem`] are
+//! type aliases over that runtime.
 
 #![warn(missing_docs)]
 
@@ -23,4 +26,4 @@ pub mod systems;
 
 pub use opt::{OptConfig, OptNode};
 pub use rvr::{RvrConfig, RvrNode};
-pub use systems::{OptSystem, RvrSystem};
+pub use systems::{OptProtocol, OptSystem, RvrProtocol, RvrSystem};

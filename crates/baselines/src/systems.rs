@@ -1,138 +1,45 @@
-//! System wrappers around the baseline nodes, implementing the same
-//! [`PubSub`] driver interface as [`vitis::system::VitisSystem`] so the
+//! [`PubSubProtocol`] adapters plugging the baseline nodes into the
+//! generic [`SystemRuntime`], so RVR and OPT run on exactly the same
+//! engine–monitor plumbing as [`vitis::system::VitisSystem`] and the
 //! experiment harness can swap systems freely.
 
 use crate::opt::{OptConfig, OptMsg, OptNode};
 use crate::rvr::{RvrConfig, RvrMsg, RvrNode};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 use std::collections::HashMap;
 use std::rc::Rc;
-use vitis::harness::Workload;
-use vitis::monitor::{EventId, LossReason, LossReport, MissContext, Monitor, PubSubStats};
-use vitis::system::{cluster_probe, PubSub, SystemParams};
-use vitis::topic::{Subs, TopicId};
+use vitis::monitor::{EventId, LossReason, LossReport, MissContext, Monitor};
+use vitis::runtime::{hybrid_rt_probe, PubSubProtocol, SystemRuntime};
+use vitis::system::SystemParams;
+use vitis::topic::{RateTable, Subs, TopicId};
 use vitis_overlay::entry::Entry;
-use vitis_overlay::graph::Graph;
 use vitis_overlay::id::Id;
-use vitis_sim::engine::{Engine, EngineConfig};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::StopReason;
-use vitis_sim::rng::{domain, stream_rng};
-use vitis_sim::time::SimTime;
-use vitis_sim::trace::{HealthProbe, TraceHandle};
 
-/// A complete RVR (Scribe-equivalent) network.
-pub struct RvrSystem {
-    engine: Engine<RvrNode, vitis_sim::network::DynNetworkModel>,
-    monitor: Monitor,
-    workload: Workload,
+/// A complete RVR (Scribe-equivalent) network behind the uniform
+/// [`vitis::system::PubSub`] API.
+pub type RvrSystem = SystemRuntime<RvrProtocol>;
+
+/// The RVR adapter: subscription-oblivious small-world tables and a
+/// rendezvous multicast tree per topic. Built from the same parameters
+/// as a Vitis system; only `rt_size`, `est_n`, `age_threshold` and the
+/// sampling view are used (RVR has no friends, gateways or relay radius).
+pub struct RvrProtocol {
     cfg: Rc<RvrConfig>,
-    boot_rng: SmallRng,
-    bootstrap_contacts: usize,
 }
 
-impl RvrSystem {
-    /// Build from the same parameters as a Vitis system; only `rt_size`,
-    /// `est_n`, `age_threshold` and the sampling view are used (RVR has no
-    /// friends, gateways or relay radius).
-    pub fn new(params: SystemParams) -> Self {
-        let n = params.subscriptions.len();
-        let cfg = Rc::new(RvrConfig {
-            rt_size: params.cfg.rt_size,
-            est_n: params.cfg.est_n,
-            age_threshold: params.cfg.age_threshold,
-            tree_ttl: params.cfg.relay_ttl,
-            sampling_view: params.cfg.sampling_view,
-            max_lookup_hops: params.cfg.max_lookup_hops,
-        });
-        let monitor = Monitor::new();
-        let workload = Workload::new(
-            params.subscriptions,
-            params.num_topics,
-            params.rates,
-            params.grace,
-            params.seed,
-        );
-        let engine = Engine::with_network(
-            EngineConfig {
-                seed: params.seed,
-                round_period: params.round_period,
-                desynchronize_rounds: true,
-            },
-            params.network.build(),
-        );
-        let boot_rng = stream_rng(params.seed, domain::WORKLOAD, u64::MAX - 1);
-        let mut sys = RvrSystem {
-            engine,
-            monitor,
-            workload,
-            cfg,
-            boot_rng,
-            bootstrap_contacts: params.bootstrap_contacts,
-        };
-        for logical in 0..n as u32 {
-            let node = sys.make_node(logical);
-            let slot = sys.engine.add_node(node);
-            debug_assert_eq!(slot.0, logical);
-        }
-        sys
-    }
-
-    fn make_node(&mut self, logical: u32) -> RvrNode {
-        let subs = self.workload.subs_of(logical).clone();
-        let bootstrap = bootstrap_entries(
-            &mut self.boot_rng,
-            self.bootstrap_contacts,
-            self.engine.alive_indices(),
-            |slot| {
-                let node = self.engine.node(slot).expect("alive");
-                (node.ring_id(), node.subscriptions().clone())
-            },
-        );
-        RvrNode::new(
-            Id::of_node(logical as u64),
-            subs,
-            self.cfg.clone(),
-            self.monitor.clone(),
-            bootstrap,
-        )
-    }
-
-    /// Read access to the engine for snapshots.
-    pub fn engine(&self) -> &Engine<RvrNode, vitis_sim::network::DynNetworkModel> {
-        &self.engine
-    }
-
-    /// The workload ground truth.
-    pub fn workload(&self) -> &Workload {
-        &self.workload
-    }
-
-    /// Snapshot the structured overlay as an undirected graph.
-    pub fn overlay_graph(&self) -> Graph {
-        let mut g = Graph::new(self.engine.num_slots());
-        for (idx, node) in self.engine.alive_nodes() {
-            for e in node.routing_table().iter() {
-                if self.engine.is_alive(e.addr) {
-                    g.add_edge(idx.0, e.addr.0);
-                }
-            }
-        }
-        g
-    }
-
+impl RvrProtocol {
     /// Classify one missed `(event, subscriber)` pair against the tree
     /// state. `comps` are the connected components of the *whole* alive
     /// overlay (RVR trees route through non-subscribers), and
     /// `rendezvous_claims` the number of nodes claiming the topic's root.
     fn classify_miss(
-        &self,
+        rt: &SystemRuntime<Self>,
         comps: &[Vec<u32>],
         rendezvous_claims: usize,
         miss: &MissContext<'_>,
     ) -> LossReason {
-        if !self.engine.is_alive(miss.subscriber) {
+        let engine = rt.engine();
+        if !engine.is_alive(miss.subscriber) {
             return LossReason::SubscriberChurned;
         }
         let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
@@ -145,8 +52,7 @@ impl RvrSystem {
             // The event never reached this partition of the overlay.
             return LossReason::PartitionedCluster;
         }
-        let has_tree_state = self
-            .engine
+        let has_tree_state = engine
             .node(miss.subscriber)
             .is_some_and(|n| n.tree_table().has(miss.topic));
         if !has_tree_state {
@@ -162,108 +68,69 @@ impl RvrSystem {
     }
 }
 
-impl PubSub for RvrSystem {
-    fn run_rounds(&mut self, n: u64) {
-        self.engine.run_rounds(n);
-    }
+impl PubSubProtocol for RvrProtocol {
+    type Node = RvrNode;
 
-    fn run_ticks(&mut self, ticks: u64) {
-        self.engine.run_for(vitis_sim::time::Duration(ticks));
-    }
+    const BOOT_SALT: u64 = u64::MAX - 1;
 
-    fn publish(&mut self, topic: TopicId) -> Option<EventId> {
-        let engine = &self.engine;
-        let publisher = self
-            .workload
-            .choose_publisher(topic, |s| engine.is_alive(NodeIdx(s)))?;
-        let now = self.engine.now();
-        let expected = self
-            .workload
-            .expected_subscribers(topic, publisher, now, |s| engine.joined_at(NodeIdx(s)));
-        let event = self.monitor.register_event(topic, now, expected);
-        self.monitor.trace_publish(event, NodeIdx(publisher));
-        self.engine
-            .inject(NodeIdx(publisher), RvrMsg::PublishCmd { event, topic });
-        Some(event)
-    }
-
-    fn publish_weighted(&mut self) -> Option<EventId> {
-        let topic = self.workload.draw_topic();
-        self.publish(topic)
-    }
-
-    fn stats(&self) -> PubSubStats {
-        self.monitor
-            .snapshot()
-            .with_kind_traffic(&self.engine.kind_traffic())
-    }
-
-    fn reset_metrics(&mut self) {
-        self.monitor.reset();
-        self.engine.reset_kind_traffic();
-    }
-
-    fn now(&self) -> SimTime {
-        self.engine.now()
-    }
-
-    fn alive_count(&self) -> usize {
-        self.engine.alive_count()
-    }
-
-    fn set_online(&mut self, logical: u32, online: bool) {
-        let slot = NodeIdx(logical);
-        match (self.engine.is_alive(slot), online) {
-            (false, true) => {
-                let node = self.make_node(logical);
-                if slot.index() < self.engine.num_slots() {
-                    self.engine.rejoin_node(slot, node);
-                } else {
-                    let got = self.engine.add_node(node);
-                    assert_eq!(got, slot, "logical ids must join in order");
-                }
-            }
-            (true, false) => self.engine.remove_node(slot, StopReason::Crash),
-            _ => {}
+    fn from_params(params: &SystemParams) -> Self {
+        RvrProtocol {
+            cfg: Rc::new(RvrConfig {
+                rt_size: params.cfg.rt_size,
+                est_n: params.cfg.est_n,
+                age_threshold: params.cfg.age_threshold,
+                tree_ttl: params.cfg.relay_ttl,
+                sampling_view: params.cfg.sampling_view,
+                max_lookup_hops: params.cfg.max_lookup_hops,
+            }),
         }
     }
 
-    fn mean_degree(&self) -> f64 {
-        let (sum, count) = self
-            .engine
-            .alive_nodes()
-            .fold((0usize, 0usize), |(s, c), (_, n)| {
-                (s + n.routing_table().len(), c + 1)
-            });
-        if count == 0 {
-            0.0
-        } else {
-            sum as f64 / count as f64
+    fn make_node(
+        &self,
+        logical: u32,
+        subs: Subs,
+        bootstrap: Vec<Entry<Subs>>,
+        _rates: &Rc<RateTable>,
+        monitor: &Monitor,
+    ) -> RvrNode {
+        RvrNode::new(
+            Id::of_node(logical as u64),
+            subs,
+            self.cfg.clone(),
+            monitor.clone(),
+            bootstrap,
+        )
+    }
+
+    fn describe(node: &RvrNode) -> (Id, Subs) {
+        (node.ring_id(), node.subscriptions().clone())
+    }
+
+    fn degree(node: &RvrNode) -> usize {
+        node.routing_table().len()
+    }
+
+    fn for_each_neighbor(node: &RvrNode, mut f: impl FnMut(NodeIdx)) {
+        for e in node.routing_table().iter() {
+            f(e.addr);
         }
     }
 
-    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64> {
-        self.monitor
-            .per_node_overhead(min_msgs)
-            .into_iter()
-            .map(|(_, pct)| pct)
-            .collect()
+    fn publish_cmd(event: EventId, topic: TopicId) -> RvrMsg {
+        RvrMsg::PublishCmd { event, topic }
     }
 
-    fn install_trace(&mut self, trace: TraceHandle) {
-        self.monitor.set_trace(Some(trace.clone()));
-        self.engine.set_trace(trace);
-    }
-
-    fn loss_report(&self) -> LossReport {
-        let graph = self.overlay_graph();
-        let alive: Vec<u32> = self.engine.alive_indices().into_iter().map(|i| i.0).collect();
+    fn loss_report(rt: &SystemRuntime<Self>) -> LossReport {
+        let graph = rt.overlay_graph();
+        let engine = rt.engine();
+        let alive: Vec<u32> = engine.alive_indices().into_iter().map(|i| i.0).collect();
         let comps = graph.components_within(&alive);
         // Rendezvous-claim counts, lazily computed once per topic.
         let mut rdv_by_topic: HashMap<TopicId, usize> = HashMap::new();
-        self.monitor.attribute_losses(self.engine.now(), |miss| {
+        rt.monitor().attribute_losses(engine.now(), |miss| {
             let rdv = *rdv_by_topic.entry(miss.topic).or_insert_with(|| {
-                self.engine
+                engine
                     .alive_nodes()
                     .filter(|(_, n)| {
                         n.tree_table()
@@ -272,267 +139,98 @@ impl PubSub for RvrSystem {
                     })
                     .count()
             });
-            self.classify_miss(&comps, rdv, miss)
+            Self::classify_miss(rt, &comps, rdv, miss)
         })
     }
 
-    fn health_probe(&self) -> HealthProbe {
-        let ring: Vec<(Id, Option<Id>)> = self
-            .engine
-            .alive_nodes()
-            .map(|(_, n)| {
-                (
-                    n.ring_id(),
-                    n.routing_table()
-                        .succ
-                        .as_ref()
-                        .and_then(|s| self.engine.is_alive(s.addr).then_some(s.id)),
-                )
-            })
-            .collect();
-        let (age_sum, entries) = self
-            .engine
-            .alive_nodes()
-            .flat_map(|(_, n)| n.routing_table().iter())
-            .fold((0u64, 0u64), |(s, c), e| (s + u64::from(e.age), c + 1));
-        let graph = self.overlay_graph();
-        let engine = &self.engine;
-        let (clusters, largest) =
-            cluster_probe(&graph, &self.workload, |s| engine.is_alive(NodeIdx(s)));
-        HealthProbe {
-            alive: self.engine.alive_count() as u64,
-            mean_degree: self.mean_degree(),
-            ring_accuracy: Some(vitis_overlay::ring::ring_accuracy(&ring)),
-            mean_view_age: (entries > 0).then(|| age_sum as f64 / entries as f64),
-            clusters: Some(clusters),
-            largest_cluster: Some(largest),
-        }
+    fn structure_probe(rt: &SystemRuntime<Self>) -> (Option<f64>, Option<f64>) {
+        let (ring, age) = hybrid_rt_probe(rt, |n| n.routing_table());
+        (Some(ring), age)
     }
 }
 
-/// A complete OPT (SpiderCast-equivalent) network.
-pub struct OptSystem {
-    engine: Engine<OptNode, vitis_sim::network::DynNetworkModel>,
-    monitor: Monitor,
-    workload: Workload,
+/// A complete OPT (SpiderCast-equivalent) network behind the uniform
+/// [`vitis::system::PubSub`] API.
+pub type OptSystem = SystemRuntime<OptProtocol>;
+
+/// The OPT adapter: correlation-aware overlay-per-topic links, flooding
+/// within each topic subgraph, no structured routing at all.
+pub struct OptProtocol {
     cfg: Rc<OptConfig>,
-    boot_rng: SmallRng,
-    bootstrap_contacts: usize,
 }
 
-impl OptSystem {
-    /// Build with an explicit OPT configuration (`max_degree: None` gives
-    /// the unbounded variant of Figure 11).
-    pub fn with_config(params: SystemParams, opt_cfg: OptConfig) -> Self {
-        let n = params.subscriptions.len();
-        let cfg = Rc::new(opt_cfg);
-        let monitor = Monitor::new();
-        let workload = Workload::new(
-            params.subscriptions,
-            params.num_topics,
-            params.rates,
-            params.grace,
-            params.seed,
-        );
-        let engine = Engine::with_network(
-            EngineConfig {
-                seed: params.seed,
-                round_period: params.round_period,
-                desynchronize_rounds: true,
-            },
-            params.network.build(),
-        );
-        let boot_rng = stream_rng(params.seed, domain::WORKLOAD, u64::MAX - 2);
-        let mut sys = OptSystem {
-            engine,
-            monitor,
-            workload,
-            cfg,
-            boot_rng,
-            bootstrap_contacts: params.bootstrap_contacts,
-        };
-        for logical in 0..n as u32 {
-            let node = sys.make_node(logical);
-            let slot = sys.engine.add_node(node);
-            debug_assert_eq!(slot.0, logical);
-        }
-        sys
+impl OptProtocol {
+    /// Adapter with an explicit OPT configuration (`max_degree: None`
+    /// gives the unbounded variant of Figure 11); combine with
+    /// [`SystemRuntime::with_protocol`].
+    pub fn with_config(cfg: OptConfig) -> Self {
+        OptProtocol { cfg: Rc::new(cfg) }
     }
+}
 
-    /// Build with the degree bound taken from `params.cfg.rt_size`.
-    pub fn new(params: SystemParams) -> Self {
-        let opt_cfg = OptConfig {
+impl PubSubProtocol for OptProtocol {
+    type Node = OptNode;
+
+    const BOOT_SALT: u64 = u64::MAX - 2;
+
+    fn from_params(params: &SystemParams) -> Self {
+        OptProtocol::with_config(OptConfig {
             max_degree: Some(params.cfg.rt_size),
             sampling_view: params.cfg.sampling_view,
             age_threshold: params.cfg.age_threshold,
             ..OptConfig::default()
-        };
-        OptSystem::with_config(params, opt_cfg)
+        })
     }
 
-    fn make_node(&mut self, logical: u32) -> OptNode {
-        let subs = self.workload.subs_of(logical).clone();
-        let bootstrap = bootstrap_entries(
-            &mut self.boot_rng,
-            self.bootstrap_contacts,
-            self.engine.alive_indices(),
-            |slot| {
-                let node = self.engine.node(slot).expect("alive");
-                (node.ring_id(), node.subscriptions().clone())
-            },
-        );
+    fn make_node(
+        &self,
+        logical: u32,
+        subs: Subs,
+        bootstrap: Vec<Entry<Subs>>,
+        _rates: &Rc<RateTable>,
+        monitor: &Monitor,
+    ) -> OptNode {
         OptNode::new(
             Id::of_node(logical as u64),
             subs,
             self.cfg.clone(),
-            self.monitor.clone(),
+            monitor.clone(),
             bootstrap,
         )
     }
 
-    /// Read access to the engine for snapshots.
-    pub fn engine(&self) -> &Engine<OptNode, vitis_sim::network::DynNetworkModel> {
-        &self.engine
+    fn describe(node: &OptNode) -> (Id, Subs) {
+        (node.ring_id(), node.subscriptions().clone())
     }
 
-    /// The workload ground truth.
-    pub fn workload(&self) -> &Workload {
-        &self.workload
+    fn degree(node: &OptNode) -> usize {
+        node.degree()
     }
 
-    /// Degrees of all online nodes (Figure 11's distribution).
-    pub fn degree_distribution(&self) -> Vec<u64> {
-        self.engine
-            .alive_nodes()
-            .map(|(_, n)| n.degree() as u64)
-            .collect()
-    }
-
-    /// Snapshot the link graph (symmetric connections).
-    pub fn overlay_graph(&self) -> Graph {
-        let mut g = Graph::new(self.engine.num_slots());
-        for (idx, node) in self.engine.alive_nodes() {
-            for peer in node.neighbor_addrs() {
-                if self.engine.is_alive(peer) {
-                    g.add_edge(idx.0, peer.0);
-                }
-            }
-        }
-        g
-    }
-}
-
-impl PubSub for OptSystem {
-    fn run_rounds(&mut self, n: u64) {
-        self.engine.run_rounds(n);
-    }
-
-    fn run_ticks(&mut self, ticks: u64) {
-        self.engine.run_for(vitis_sim::time::Duration(ticks));
-    }
-
-    fn publish(&mut self, topic: TopicId) -> Option<EventId> {
-        let engine = &self.engine;
-        let publisher = self
-            .workload
-            .choose_publisher(topic, |s| engine.is_alive(NodeIdx(s)))?;
-        let now = self.engine.now();
-        let expected = self
-            .workload
-            .expected_subscribers(topic, publisher, now, |s| engine.joined_at(NodeIdx(s)));
-        let event = self.monitor.register_event(topic, now, expected);
-        self.monitor.trace_publish(event, NodeIdx(publisher));
-        self.engine
-            .inject(NodeIdx(publisher), OptMsg::PublishCmd { event, topic });
-        Some(event)
-    }
-
-    fn publish_weighted(&mut self) -> Option<EventId> {
-        let topic = self.workload.draw_topic();
-        self.publish(topic)
-    }
-
-    fn stats(&self) -> PubSubStats {
-        self.monitor
-            .snapshot()
-            .with_kind_traffic(&self.engine.kind_traffic())
-    }
-
-    fn reset_metrics(&mut self) {
-        self.monitor.reset();
-        self.engine.reset_kind_traffic();
-    }
-
-    fn now(&self) -> SimTime {
-        self.engine.now()
-    }
-
-    fn alive_count(&self) -> usize {
-        self.engine.alive_count()
-    }
-
-    fn set_online(&mut self, logical: u32, online: bool) {
-        let slot = NodeIdx(logical);
-        match (self.engine.is_alive(slot), online) {
-            (false, true) => {
-                let node = self.make_node(logical);
-                if slot.index() < self.engine.num_slots() {
-                    self.engine.rejoin_node(slot, node);
-                } else {
-                    let got = self.engine.add_node(node);
-                    assert_eq!(got, slot, "logical ids must join in order");
-                }
-            }
-            (true, false) => self.engine.remove_node(slot, StopReason::Crash),
-            _ => {}
+    fn for_each_neighbor(node: &OptNode, mut f: impl FnMut(NodeIdx)) {
+        for peer in node.neighbor_addrs() {
+            f(peer);
         }
     }
 
-    fn mean_degree(&self) -> f64 {
-        let (sum, count) = self
-            .engine
-            .alive_nodes()
-            .fold((0usize, 0usize), |(s, c), (_, n)| (s + n.degree(), c + 1));
-        if count == 0 {
-            0.0
-        } else {
-            sum as f64 / count as f64
-        }
+    fn publish_cmd(event: EventId, topic: TopicId) -> OptMsg {
+        OptMsg::PublishCmd { event, topic }
     }
 
-    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64> {
-        self.monitor
-            .per_node_overhead(min_msgs)
-            .into_iter()
-            .map(|(_, pct)| pct)
-            .collect()
-    }
-
-    fn install_trace(&mut self, trace: TraceHandle) {
-        self.monitor.set_trace(Some(trace.clone()));
-        self.engine.set_trace(trace);
-    }
-
-    fn loss_report(&self) -> LossReport {
+    fn loss_report(rt: &SystemRuntime<Self>) -> LossReport {
         // OPT has no structure beyond the per-topic subgraphs, so every
         // miss is either churn, a subgraph partition the flood could not
         // cross, or a flood that stopped short inside a reached component.
-        let graph = self.overlay_graph();
+        let graph = rt.overlay_graph();
+        let engine = rt.engine();
         let mut comps_by_topic: HashMap<TopicId, Vec<Vec<u32>>> = HashMap::new();
-        self.monitor.attribute_losses(self.engine.now(), |miss| {
-            if !self.engine.is_alive(miss.subscriber) {
+        rt.monitor().attribute_losses(engine.now(), |miss| {
+            if !engine.is_alive(miss.subscriber) {
                 return LossReason::SubscriberChurned;
             }
-            let comps = comps_by_topic.entry(miss.topic).or_insert_with(|| {
-                let subs: Vec<u32> = self
-                    .workload
-                    .subscribers(miss.topic)
-                    .iter()
-                    .copied()
-                    .filter(|&s| self.engine.is_alive(NodeIdx(s)))
-                    .collect();
-                graph.components_within(&subs)
-            });
+            let comps = comps_by_topic
+                .entry(miss.topic)
+                .or_insert_with(|| graph.components_within(&rt.alive_subscribers(miss.topic)));
             let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
                 return LossReason::PartitionedCluster;
             };
@@ -547,47 +245,17 @@ impl PubSub for OptSystem {
         })
     }
 
-    fn health_probe(&self) -> HealthProbe {
-        // OPT keeps no ring and its link set carries no age, so the
-        // structure fields that do not apply stay `None`.
-        let graph = self.overlay_graph();
-        let engine = &self.engine;
-        let (clusters, largest) =
-            cluster_probe(&graph, &self.workload, |s| engine.is_alive(NodeIdx(s)));
-        HealthProbe {
-            alive: self.engine.alive_count() as u64,
-            mean_degree: self.mean_degree(),
-            ring_accuracy: None,
-            mean_view_age: None,
-            clusters: Some(clusters),
-            largest_cluster: Some(largest),
-        }
-    }
-}
-
-/// Sample bootstrap contacts among currently online nodes.
-fn bootstrap_entries(
-    rng: &mut SmallRng,
-    count: usize,
-    mut alive: Vec<NodeIdx>,
-    mut describe: impl FnMut(NodeIdx) -> (Id, Subs),
-) -> Vec<Entry<Subs>> {
-    alive.shuffle(rng);
-    alive
-        .into_iter()
-        .take(count)
-        .map(|slot| {
-            let (id, subs) = describe(slot);
-            Entry::fresh(slot, id, subs)
-        })
-        .collect()
+    // structure_probe: the default `(None, None)` — OPT keeps no ring and
+    // its link set carries no age.
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::Rng;
+    use vitis::system::PubSub;
     use vitis::topic::TopicSet;
+    use vitis_sim::rng::{domain, stream_rng};
 
     fn random_params(n: usize, topics: usize, subs: usize, seed: u64) -> SystemParams {
         let mut rng = stream_rng(seed, domain::WORKLOAD, 1);
@@ -671,12 +339,12 @@ mod tests {
     fn opt_unbounded_covers_more_and_grows_degrees() {
         let params = random_params(150, 30, 8, 41);
         let bounded = {
-            let mut sys = OptSystem::with_config(
-                params.clone(),
-                OptConfig {
+            let mut sys = OptSystem::with_protocol(
+                OptProtocol::with_config(OptConfig {
                     max_degree: Some(8),
                     ..OptConfig::default()
-                },
+                }),
+                params.clone(),
             );
             sys.run_rounds(40);
             sys.reset_metrics();
@@ -687,12 +355,12 @@ mod tests {
             sys.stats().hit_ratio
         };
         let (unbounded, max_degree) = {
-            let mut sys = OptSystem::with_config(
-                params,
-                OptConfig {
+            let mut sys = OptSystem::with_protocol(
+                OptProtocol::with_config(OptConfig {
                     max_degree: None,
                     ..OptConfig::default()
-                },
+                }),
+                params,
             );
             sys.run_rounds(40);
             let max_degree = sys.degree_distribution().into_iter().max().unwrap();

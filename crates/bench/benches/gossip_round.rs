@@ -48,6 +48,71 @@ fn bench_round(c: &mut Criterion) {
     g.finish();
 }
 
+/// Dissemination meso-bench: one measured burst end to end — publish a
+/// rate-weighted batch, drain it over enough rounds that notifications
+/// reach the whole subscriber set, then reset. Exercises the full
+/// runtime path (publish scheduling → engine rounds → monitor
+/// accounting) rather than a single round in isolation.
+fn bench_dissemination(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dissemination");
+    g.sample_size(10);
+    let n = 400;
+    g.bench_function("vitis", |b| {
+        let mut sys = VitisSystem::new(params(n));
+        sys.run_rounds(30);
+        b.iter(|| {
+            for _ in 0..20 {
+                sys.publish_weighted();
+            }
+            sys.run_rounds(5);
+            sys.reset_metrics();
+        });
+    });
+    g.bench_function("rvr", |b| {
+        let mut sys = RvrSystem::new(params(n));
+        sys.run_rounds(30);
+        b.iter(|| {
+            for _ in 0..20 {
+                sys.publish_weighted();
+            }
+            sys.run_rounds(5);
+            sys.reset_metrics();
+        });
+    });
+    g.bench_function("opt", |b| {
+        let mut sys = OptSystem::new(params(n));
+        sys.run_rounds(30);
+        b.iter(|| {
+            for _ in 0..20 {
+                sys.publish_weighted();
+            }
+            sys.run_rounds(5);
+            sys.reset_metrics();
+        });
+    });
+    g.finish();
+}
+
+/// Construction cost including the params clone a three-system
+/// comparison pays per system — the path subscription interning is
+/// meant to cheapen.
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_build");
+    g.sample_size(10);
+    let n = 600;
+    let p = params(n);
+    g.bench_function("vitis", |b| {
+        b.iter(|| VitisSystem::new(p.clone()));
+    });
+    g.bench_function("rvr", |b| {
+        b.iter(|| RvrSystem::new(p.clone()));
+    });
+    g.bench_function("opt", |b| {
+        b.iter(|| OptSystem::new(p.clone()));
+    });
+    g.finish();
+}
+
 fn bench_publish_wave(c: &mut Criterion) {
     let mut g = c.benchmark_group("publish_wave_50_events");
     g.sample_size(10);
@@ -75,5 +140,11 @@ fn bench_publish_wave(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_round, bench_publish_wave);
+criterion_group!(
+    benches,
+    bench_round,
+    bench_dissemination,
+    bench_build,
+    bench_publish_wave
+);
 criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Harness-free meso-benchmark used to record `BENCH_PR4.json`.
+//!
+//! Mirrors the `gossip_round`, `dissemination` and `system_build` groups
+//! of `benches/gossip_round.rs` but times them with plain
+//! `std::time::Instant`, so it runs in environments where the criterion
+//! harness is unavailable and produces a compact JSON medians report:
+//!
+//! ```text
+//! cargo run -p vitis-bench --release --bin meso_timing
+//! ```
+
+use std::time::Instant;
+use vitis::system::{PubSub, SystemParams, VitisSystem};
+use vitis::topic::TopicSet;
+use vitis_baselines::{OptSystem, RvrSystem};
+use vitis_workloads::{Correlation, SubscriptionModel};
+
+fn params(n: usize) -> SystemParams {
+    let model = SubscriptionModel {
+        num_nodes: n,
+        num_topics: n / 2,
+        num_buckets: (n / 100).max(4),
+        subs_per_node: 25,
+        correlation: Correlation::Low,
+    };
+    let subs: Vec<TopicSet> = model
+        .generate(7)
+        .into_iter()
+        .map(TopicSet::from_iter)
+        .collect();
+    let mut p = SystemParams::new(subs, model.num_topics);
+    p.seed = 7;
+    p
+}
+
+/// Median wall time in microseconds over `samples` runs of `f`.
+fn median_us(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let mid = times.len() / 2;
+    if times.len() % 2 == 0 {
+        (times[mid - 1] + times[mid]) / 2.0
+    } else {
+        times[mid]
+    }
+}
+
+fn round_bench(sys: &mut dyn PubSub, samples: usize) -> f64 {
+    sys.run_rounds(20);
+    median_us(samples, || sys.run_rounds(1))
+}
+
+fn dissemination_bench(sys: &mut dyn PubSub, samples: usize) -> f64 {
+    sys.run_rounds(30);
+    median_us(samples, || {
+        for _ in 0..20 {
+            sys.publish_weighted();
+        }
+        sys.run_rounds(5);
+        sys.reset_metrics();
+    })
+}
+
+fn main() {
+    const SAMPLES: usize = 15;
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    for &n in &[250usize, 600] {
+        entries.push((
+            format!("gossip_round/vitis/{n}"),
+            round_bench(&mut VitisSystem::new(params(n)), SAMPLES),
+        ));
+        entries.push((
+            format!("gossip_round/rvr/{n}"),
+            round_bench(&mut RvrSystem::new(params(n)), SAMPLES),
+        ));
+        entries.push((
+            format!("gossip_round/opt/{n}"),
+            round_bench(&mut OptSystem::new(params(n)), SAMPLES),
+        ));
+    }
+
+    let n = 400;
+    entries.push((
+        format!("dissemination/vitis/{n}"),
+        dissemination_bench(&mut VitisSystem::new(params(n)), SAMPLES),
+    ));
+    entries.push((
+        format!("dissemination/rvr/{n}"),
+        dissemination_bench(&mut RvrSystem::new(params(n)), SAMPLES),
+    ));
+    entries.push((
+        format!("dissemination/opt/{n}"),
+        dissemination_bench(&mut OptSystem::new(params(n)), SAMPLES),
+    ));
+
+    let n = 600;
+    let p = params(n);
+    entries.push((
+        format!("system_build/vitis/{n}"),
+        median_us(SAMPLES, || drop(VitisSystem::new(p.clone()))),
+    ));
+    entries.push((
+        format!("system_build/rvr/{n}"),
+        median_us(SAMPLES, || drop(RvrSystem::new(p.clone()))),
+    ));
+    entries.push((
+        format!("system_build/opt/{n}"),
+        median_us(SAMPLES, || drop(OptSystem::new(p.clone()))),
+    ));
+
+    println!("{{");
+    for (i, (name, us)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        println!("  \"{name}\": {us:.1}{comma}");
+    }
+    println!("}}");
+}

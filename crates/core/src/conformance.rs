@@ -1,0 +1,149 @@
+//! Shared [`PubSub`] conformance suite.
+//!
+//! Every system built on [`SystemRuntime`] must honor the same driver
+//! contract; these checks state it executably, once, and each system's
+//! test suite instantiates them (see `tests/pubsub_conformance.rs` in the
+//! umbrella crate). Each check panics with a labelled message on
+//! violation, so a failing instantiation names both the system and the
+//! broken clause.
+//!
+//! The suite assumes a freshly built system whose workload can publish on
+//! topics `0..topics` and that has at least `2 × churn_nodes` logical
+//! nodes.
+
+use crate::runtime::{PubSub, PubSubProtocol, SystemRuntime};
+use crate::topic::TopicId;
+
+/// Run the full suite on a freshly built system.
+pub fn check_pubsub_conformance<P: PubSubProtocol>(
+    sys: &mut SystemRuntime<P>,
+    name: &str,
+    topics: u32,
+    churn_nodes: u32,
+) {
+    check_reset_zeroes_stats(sys, name, topics);
+    check_loss_report_partitions_misses(sys, name, topics, churn_nodes);
+    check_set_online_idempotent(sys, name, churn_nodes);
+    check_agrees_with_engine(sys, name);
+}
+
+/// After `reset_metrics`, every counter of the stats snapshot is zero.
+pub fn check_reset_zeroes_stats(sys: &mut impl PubSub, name: &str, topics: u32) {
+    sys.run_rounds(10);
+    for t in 0..topics {
+        sys.publish(TopicId(t));
+    }
+    sys.run_rounds(3);
+    sys.reset_metrics();
+    let s = sys.stats();
+    assert_eq!(s.published, 0, "{name}: published after reset");
+    assert_eq!(s.expected, 0, "{name}: expected after reset");
+    assert_eq!(s.delivered, 0, "{name}: delivered after reset");
+    assert_eq!(s.useful_msgs, 0, "{name}: useful_msgs after reset");
+    assert_eq!(s.relay_msgs, 0, "{name}: relay_msgs after reset");
+    assert_eq!(s.control_sent, 0, "{name}: control_sent after reset");
+    assert_eq!(s.data_sent, 0, "{name}: data_sent after reset");
+    assert_eq!(s.max_hops, 0, "{name}: max_hops after reset");
+    assert_eq!(s.max_latency_ticks, 0, "{name}: max_latency after reset");
+    let kind_sent: u64 = s.traffic_by_kind.iter().map(|k| k.sent).sum();
+    assert_eq!(kind_sent, 0, "{name}: per-kind ledger after reset");
+}
+
+/// `loss_report` per-reason counts sum exactly to `expected - delivered`,
+/// and its totals agree with the stats snapshot — including under churn
+/// that strands some expected subscribers.
+pub fn check_loss_report_partitions_misses(
+    sys: &mut impl PubSub,
+    name: &str,
+    topics: u32,
+    churn_nodes: u32,
+) {
+    sys.run_rounds(15);
+    sys.reset_metrics();
+    for t in 0..topics {
+        sys.publish(TopicId(t));
+    }
+    for logical in 0..churn_nodes {
+        sys.set_online(logical, false);
+    }
+    sys.run_rounds(4);
+    let s = sys.stats();
+    let report = sys.loss_report();
+    assert_eq!(report.expected, s.expected, "{name}: report.expected");
+    assert_eq!(report.delivered, s.delivered, "{name}: report.delivered");
+    let sum: u64 = report.by_reason.iter().map(|&(_, c)| c).sum();
+    assert_eq!(
+        sum,
+        s.expected - s.delivered,
+        "{name}: loss reasons must partition the missed pairs"
+    );
+    for logical in 0..churn_nodes {
+        sys.set_online(logical, true);
+    }
+}
+
+/// `set_online` is idempotent (repeating the current state is a no-op)
+/// and incarnation-safe (repeated offline/online toggles of the same
+/// logical node keep the population consistent and the system running).
+pub fn check_set_online_idempotent(sys: &mut impl PubSub, name: &str, churn_nodes: u32) {
+    sys.run_rounds(5);
+    let full = sys.alive_count();
+    // Idempotent in the online state...
+    sys.set_online(0, true);
+    assert_eq!(sys.alive_count(), full, "{name}: online->online is a no-op");
+    // ...and in the offline state.
+    sys.set_online(0, false);
+    let down = sys.alive_count();
+    assert_eq!(down, full - 1, "{name}: offline removes exactly one node");
+    sys.set_online(0, false);
+    assert_eq!(
+        sys.alive_count(),
+        down,
+        "{name}: offline->offline is a no-op"
+    );
+    sys.set_online(0, true);
+    assert_eq!(sys.alive_count(), full, "{name}: rejoin restores the node");
+    // Rapid repeated toggles must neither lose slots nor wedge the run
+    // (each rejoin starts a fresh incarnation in the same slot).
+    for _ in 0..3 {
+        for logical in 0..churn_nodes {
+            sys.set_online(logical, false);
+        }
+        sys.run_rounds(1);
+        for logical in 0..churn_nodes {
+            sys.set_online(logical, true);
+        }
+        sys.run_rounds(1);
+    }
+    assert_eq!(
+        sys.alive_count(),
+        full,
+        "{name}: toggle storm must conserve the population"
+    );
+    sys.run_rounds(3);
+}
+
+/// `alive_count` and `mean_degree` are views of engine state, not
+/// independent bookkeeping: both must agree with a direct engine scan.
+pub fn check_agrees_with_engine<P: PubSubProtocol>(sys: &SystemRuntime<P>, name: &str) {
+    assert_eq!(
+        sys.alive_count(),
+        sys.engine().alive_count(),
+        "{name}: alive_count mirrors the engine"
+    );
+    let (sum, count) = sys
+        .engine()
+        .alive_nodes()
+        .fold((0usize, 0usize), |(s, c), (_, n)| (s + P::degree(n), c + 1));
+    let expect = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+    assert_eq!(
+        sys.mean_degree().to_bits(),
+        expect.to_bits(),
+        "{name}: mean_degree is the engine-wide degree mean"
+    );
+    assert_eq!(
+        sys.alive_count(),
+        sys.degree_distribution().len(),
+        "{name}: one degree sample per alive node"
+    );
+}

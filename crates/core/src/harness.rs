@@ -25,16 +25,19 @@ pub struct Workload {
 
 impl Workload {
     /// Build from per-node subscription sets over `num_topics` topics.
+    /// Accepts owned [`TopicSet`]s or already-interned [`Subs`] handles
+    /// (the latter avoids re-allocating shared subscription storage).
     ///
     /// # Panics
     /// Panics if a subscription references a topic `>= num_topics`.
-    pub fn new(
-        subscriptions: Vec<TopicSet>,
+    pub fn new<S: Into<Subs>>(
+        subscriptions: Vec<S>,
         num_topics: usize,
         rates: RateTable,
         grace: Duration,
         seed: u64,
     ) -> Self {
+        let subscriptions: Vec<Subs> = subscriptions.into_iter().map(Into::into).collect();
         let mut topic_subscribers = vec![Vec::new(); num_topics];
         for (i, s) in subscriptions.iter().enumerate() {
             for t in s.iter() {
@@ -52,7 +55,7 @@ impl Workload {
             cum_rates.push(acc);
         }
         Workload {
-            subs: subscriptions.into_iter().map(Rc::new).collect(),
+            subs: subscriptions,
             topic_subscribers,
             rates: Rc::new(rates),
             cum_rates,

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod conformance;
 pub mod gateway;
 pub mod harness;
 pub mod monitor;
 pub mod msg;
 pub mod node;
 pub mod relay;
+pub mod runtime;
 pub mod system;
 pub mod topic;
 pub mod utility;
@@ -60,7 +62,10 @@ pub mod prelude {
     pub use crate::monitor::{EventId, Monitor, PubSubStats};
     pub use crate::msg::{Notification, ProfileMsg, VitisMsg};
     pub use crate::node::VitisNode;
-    pub use crate::system::{random_system, NetworkSpec, PubSub, SystemParams, VitisSystem};
+    pub use crate::runtime::{PubSubProtocol, SystemRuntime};
+    pub use crate::system::{
+        random_system, NetworkSpec, PubSub, SystemParams, VitisProtocol, VitisSystem,
+    };
     pub use crate::topic::{RateTable, Subs, TopicId, TopicSet};
     pub use crate::utility::utility;
 }

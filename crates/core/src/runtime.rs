@@ -1,0 +1,476 @@
+//! The generic system runtime: one engine–monitor plumbing layer shared
+//! by every publish/subscribe system in the suite.
+//!
+//! The paper evaluates three systems — Vitis, RVR and OPT — under
+//! *identical* simulation conditions (§V). [`SystemRuntime`] encodes that
+//! guarantee structurally instead of by convention: it owns the engine,
+//! the monitor, the workload ground truth, publish scheduling, churn
+//! bookkeeping and trace wiring exactly once, and a system is just a
+//! [`PubSubProtocol`] adapter supplying what genuinely differs between
+//! designs — node construction, overlay structure accessors, loss
+//! classification and the structured part of the health probe.
+//!
+//! ```text
+//! Engine<P::Node>  ──rounds/messages──►  per-node protocol state
+//!        ▲
+//! SystemRuntime<P>  ── publish scheduling, churn, stats, tracing
+//!        ▲
+//! PubSubProtocol adapters: VitisProtocol │ RvrProtocol │ OptProtocol
+//! ```
+//!
+//! The blanket `impl<P: PubSubProtocol> PubSub for SystemRuntime<P>` is
+//! the **only** [`PubSub`] implementation in the workspace; the driver
+//! surface cannot drift between systems.
+
+use crate::harness::Workload;
+use crate::monitor::{EventId, LossReport, Monitor, PubSubStats};
+use crate::system::{cluster_probe, SystemParams};
+use crate::topic::{RateTable, Subs, TopicId, TopicSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use std::rc::Rc;
+use vitis_overlay::entry::Entry;
+use vitis_overlay::graph::Graph;
+use vitis_overlay::id::Id;
+use vitis_overlay::rt::HybridRt;
+use vitis_sim::engine::{Engine, EngineConfig};
+use vitis_sim::event::NodeIdx;
+use vitis_sim::network::DynNetworkModel;
+use vitis_sim::prelude::StopReason;
+use vitis_sim::protocol::Protocol;
+use vitis_sim::rng::{domain, stream_rng};
+use vitis_sim::time::{Duration, SimTime};
+use vitis_sim::trace::{HealthProbe, TraceHandle};
+
+/// The uniform driver interface over Vitis, RVR and OPT systems.
+///
+/// Implemented once, by `SystemRuntime<P>`; the experiment harness,
+/// examples and tests drive every system through this surface.
+pub trait PubSub {
+    /// Advance `n` gossip rounds.
+    fn run_rounds(&mut self, n: u64);
+
+    /// Advance by raw simulation ticks (fine-grained churn interleaving).
+    fn run_ticks(&mut self, ticks: u64);
+
+    /// Publish one event on `topic` from a random online subscriber.
+    /// Returns `None` when no subscriber is online.
+    fn publish(&mut self, topic: TopicId) -> Option<EventId>;
+
+    /// Publish one event on a rate-weighted random topic.
+    fn publish_weighted(&mut self) -> Option<EventId>;
+
+    /// Metrics since the last reset.
+    fn stats(&self) -> PubSubStats;
+
+    /// Clear the measurement window (end of warmup).
+    fn reset_metrics(&mut self);
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Number of online nodes.
+    fn alive_count(&self) -> usize;
+
+    /// Bring a logical node online/offline (churn driver hook). No-op if
+    /// already in the requested state.
+    fn set_online(&mut self, logical: u32, online: bool);
+
+    /// Mean node degree over online nodes.
+    fn mean_degree(&self) -> f64;
+
+    /// Per-node traffic overhead percentages (Figure 5's distribution),
+    /// over nodes that received at least `min_msgs` data-plane messages.
+    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64>;
+
+    /// Install a shared trace into the system's engine **and** its
+    /// monitor: lifecycle and message events are recorded engine-side,
+    /// and per-event forensics records (`pub_event` / `fwd` /
+    /// `deliver_event` / `drop_event`) are recorded monitor-side, all
+    /// into the same ring buffer.
+    fn install_trace(&mut self, trace: TraceHandle);
+
+    /// Classify every missed `(event, subscriber)` pair of the current
+    /// window against the system's present structural state (see
+    /// [`crate::monitor::LossReason`]). Per-reason counts sum exactly to
+    /// `expected - delivered`; when a trace is installed each miss also
+    /// emits a `drop_event` record.
+    fn loss_report(&self) -> LossReport;
+
+    /// Sample the overlay's structural health (ring consistency, view
+    /// staleness, subscriber clustering). All three systems fill what
+    /// they can measure; structure-less fields stay `None`.
+    fn health_probe(&self) -> HealthProbe;
+}
+
+/// What a publish/subscribe design must supply to run on
+/// [`SystemRuntime`]: its node type plus the handful of hooks where the
+/// three systems genuinely differ. Everything else — round driving,
+/// publish scheduling, churn slot management, stats, tracing — lives in
+/// the runtime and is shared verbatim.
+pub trait PubSubProtocol: Sized {
+    /// The per-node protocol state machine driven by the engine.
+    type Node: Protocol;
+
+    /// Salt of the bootstrap-sampling RNG stream in
+    /// [`vitis_sim::rng::domain::WORKLOAD`]. Distinct per system so
+    /// side-by-side comparisons from cloned params never share draws.
+    const BOOT_SALT: u64;
+
+    /// Derive the protocol's shared state (its config) from the common
+    /// construction parameters.
+    fn from_params(params: &SystemParams) -> Self;
+
+    /// Construct the node joining as `logical`.
+    fn make_node(
+        &self,
+        logical: u32,
+        subs: Subs,
+        bootstrap: Vec<Entry<Subs>>,
+        rates: &Rc<RateTable>,
+        monitor: &Monitor,
+    ) -> Self::Node;
+
+    /// `(ring id, subscriptions)` of a node, as advertised in bootstrap
+    /// entries handed to joiners.
+    fn describe(node: &Self::Node) -> (Id, Subs);
+
+    /// Number of overlay links the node currently holds.
+    fn degree(node: &Self::Node) -> usize;
+
+    /// Visit the node's current overlay neighbors (for graph snapshots).
+    fn for_each_neighbor(node: &Self::Node, f: impl FnMut(NodeIdx));
+
+    /// The protocol message that starts disseminating `event` when
+    /// injected at the publisher.
+    fn publish_cmd(event: EventId, topic: TopicId) -> <Self::Node as Protocol>::Msg;
+
+    /// Classify the current window's missed `(event, subscriber)` pairs
+    /// against the system's structural state. Implementations call
+    /// [`Monitor::attribute_losses`] via `rt.monitor()` with a
+    /// system-specific classifier.
+    fn loss_report(rt: &SystemRuntime<Self>) -> LossReport;
+
+    /// The structured part of the health probe:
+    /// `(ring accuracy, mean view age)`. Systems without that structure
+    /// keep the default `(None, None)`.
+    fn structure_probe(_rt: &SystemRuntime<Self>) -> (Option<f64>, Option<f64>) {
+        (None, None)
+    }
+}
+
+/// A complete network of one publish/subscribe design: engine, nodes,
+/// workload ground truth and metrics behind the uniform [`PubSub`] API.
+///
+/// Construct with [`SystemRuntime::new`] (config derived from params via
+/// [`PubSubProtocol::from_params`]) or [`SystemRuntime::with_protocol`]
+/// (explicit adapter state, e.g. OPT's unbounded-degree variant).
+pub struct SystemRuntime<P: PubSubProtocol> {
+    pub(crate) engine: Engine<P::Node, DynNetworkModel>,
+    pub(crate) monitor: Monitor,
+    pub(crate) workload: Workload,
+    pub(crate) protocol: P,
+    boot_rng: SmallRng,
+    bootstrap_contacts: usize,
+}
+
+impl<P: PubSubProtocol> SystemRuntime<P> {
+    /// Build and start a network with every node online.
+    pub fn new(params: SystemParams) -> Self {
+        Self::with_protocol(P::from_params(&params), params)
+    }
+
+    /// Build with explicit protocol adapter state (bypasses
+    /// [`PubSubProtocol::from_params`]).
+    pub fn with_protocol(protocol: P, params: SystemParams) -> Self {
+        let n = params.subscriptions.len();
+        let monitor = Monitor::new();
+        let workload = Workload::new(
+            params.subscriptions,
+            params.num_topics,
+            params.rates,
+            params.grace,
+            params.seed,
+        );
+        let engine = Engine::with_network(
+            EngineConfig {
+                seed: params.seed,
+                round_period: params.round_period,
+                desynchronize_rounds: true,
+            },
+            params.network.build(),
+        );
+        let boot_rng = stream_rng(params.seed, domain::WORKLOAD, P::BOOT_SALT);
+        let mut sys = SystemRuntime {
+            engine,
+            monitor,
+            workload,
+            protocol,
+            boot_rng,
+            bootstrap_contacts: params.bootstrap_contacts,
+        };
+        for logical in 0..n as u32 {
+            let node = sys.make_node(logical);
+            let slot = sys.engine.add_node(node);
+            debug_assert_eq!(slot.0, logical);
+        }
+        sys
+    }
+
+    fn make_node(&mut self, logical: u32) -> P::Node {
+        let subs = self.workload.subs_of(logical).clone();
+        let bootstrap = self.bootstrap_entries();
+        self.protocol
+            .make_node(logical, subs, bootstrap, self.workload.rates(), &self.monitor)
+    }
+
+    /// Sample bootstrap contacts among currently online nodes (the
+    /// bootstrap-server emulation of Algorithm 1).
+    fn bootstrap_entries(&mut self) -> Vec<Entry<Subs>> {
+        let mut alive: Vec<NodeIdx> = self.engine.alive_indices();
+        alive.shuffle(&mut self.boot_rng);
+        alive
+            .into_iter()
+            .take(self.bootstrap_contacts)
+            .map(|slot| {
+                let node = self.engine.node(slot).expect("sampled alive node");
+                let (id, subs) = P::describe(node);
+                Entry::fresh(slot, id, subs)
+            })
+            .collect()
+    }
+
+    /// The protocol adapter (shared config state).
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The shared monitor (e.g. for custom event registration in tests).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The underlying engine (read access for snapshots).
+    pub fn engine(&self) -> &Engine<P::Node, DynNetworkModel> {
+        &self.engine
+    }
+
+    /// The workload ground truth.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Snapshot the current overlay as an undirected graph (an edge per
+    /// overlay link to an online node).
+    pub fn overlay_graph(&self) -> Graph {
+        let mut g = Graph::new(self.engine.num_slots());
+        for (idx, node) in self.engine.alive_nodes() {
+            P::for_each_neighbor(node, |peer| {
+                if self.engine.is_alive(peer) {
+                    g.add_edge(idx.0, peer.0);
+                }
+            });
+        }
+        g
+    }
+
+    /// The clusters (maximal connected subscriber subgraphs) of `topic`
+    /// in the current overlay.
+    pub fn topic_clusters(&self, topic: TopicId) -> Vec<Vec<u32>> {
+        let g = self.overlay_graph();
+        g.components_within(&self.alive_subscribers(topic))
+    }
+
+    /// Degrees of all online nodes (Figure 11's distribution).
+    pub fn degree_distribution(&self) -> Vec<u64> {
+        self.engine
+            .alive_nodes()
+            .map(|(_, n)| P::degree(n) as u64)
+            .collect()
+    }
+
+    /// Currently-online subscribers of `topic` (ground truth ∩ engine
+    /// liveness) — the population loss classifiers reason about.
+    pub fn alive_subscribers(&self, topic: TopicId) -> Vec<u32> {
+        self.workload
+            .subscribers(topic)
+            .iter()
+            .copied()
+            .filter(|&s| self.engine.is_alive(NodeIdx(s)))
+            .collect()
+    }
+
+    /// Publish from an explicit node (must be online). Returns the event
+    /// id.
+    pub fn publish_from(&mut self, publisher: u32, topic: TopicId) -> Option<EventId> {
+        if !self.engine.is_alive(NodeIdx(publisher)) {
+            return None;
+        }
+        let now = self.engine.now();
+        let engine = &self.engine;
+        let expected = self
+            .workload
+            .expected_subscribers(topic, publisher, now, |s| engine.joined_at(NodeIdx(s)));
+        let event = self.monitor.register_event(topic, now, expected);
+        self.monitor.trace_publish(event, NodeIdx(publisher));
+        self.engine
+            .inject(NodeIdx(publisher), P::publish_cmd(event, topic));
+        Some(event)
+    }
+}
+
+/// Vitis-specific surface: operations that need the node type's own API
+/// (dynamic resubscription, ring diagnostics).
+impl SystemRuntime<crate::system::VitisProtocol> {
+    /// Replace the subscriptions of an online node at runtime; the change
+    /// is reflected both in the delivery ground truth and in the node's
+    /// next profile heartbeat.
+    pub fn resubscribe(&mut self, logical: u32, new_subs: TopicSet) {
+        self.workload.resubscribe(logical, new_subs);
+        let subs = self.workload.subs_of(logical).clone();
+        if let Some(node) = self.engine.node_mut(NodeIdx(logical)) {
+            node.set_subscriptions(subs);
+        }
+    }
+
+    /// Fraction of online nodes whose successor pointer matches the true
+    /// ring (convergence diagnostic).
+    pub fn ring_accuracy(&self) -> f64 {
+        hybrid_rt_probe(self, |n| n.routing_table()).0
+    }
+}
+
+/// Ring accuracy and mean view age for systems whose nodes keep a
+/// [`HybridRt`] (Vitis and RVR): successor pointers checked against the
+/// true ring over online nodes, entry ages averaged over all live table
+/// entries. Returns `(ring accuracy, mean view age)`.
+pub fn hybrid_rt_probe<P: PubSubProtocol>(
+    rt: &SystemRuntime<P>,
+    table_of: impl Fn(&P::Node) -> &HybridRt<Subs>,
+) -> (f64, Option<f64>) {
+    let engine = rt.engine();
+    let mut ring: Vec<(Id, Option<Id>)> = Vec::new();
+    let (mut age_sum, mut entries) = (0u64, 0u64);
+    for (_, node) in engine.alive_nodes() {
+        let table = table_of(node);
+        ring.push((
+            P::describe(node).0,
+            table
+                .succ
+                .as_ref()
+                .and_then(|s| engine.is_alive(s.addr).then_some(s.id)),
+        ));
+        for e in table.iter() {
+            age_sum += u64::from(e.age);
+            entries += 1;
+        }
+    }
+    (
+        vitis_overlay::ring::ring_accuracy(&ring),
+        (entries > 0).then(|| age_sum as f64 / entries as f64),
+    )
+}
+
+impl<P: PubSubProtocol> PubSub for SystemRuntime<P> {
+    fn run_rounds(&mut self, n: u64) {
+        self.engine.run_rounds(n);
+    }
+
+    fn run_ticks(&mut self, ticks: u64) {
+        self.engine.run_for(Duration(ticks));
+    }
+
+    fn publish(&mut self, topic: TopicId) -> Option<EventId> {
+        let engine = &self.engine;
+        let publisher = self
+            .workload
+            .choose_publisher(topic, |s| engine.is_alive(NodeIdx(s)))?;
+        self.publish_from(publisher, topic)
+    }
+
+    fn publish_weighted(&mut self) -> Option<EventId> {
+        let topic = self.workload.draw_topic();
+        self.publish(topic)
+    }
+
+    fn stats(&self) -> PubSubStats {
+        self.monitor
+            .snapshot()
+            .with_kind_traffic(&self.engine.kind_traffic())
+    }
+
+    fn reset_metrics(&mut self) {
+        self.monitor.reset();
+        self.engine.reset_kind_traffic();
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn alive_count(&self) -> usize {
+        self.engine.alive_count()
+    }
+
+    fn set_online(&mut self, logical: u32, online: bool) {
+        let slot = NodeIdx(logical);
+        match (self.engine.is_alive(slot), online) {
+            (false, true) => {
+                let node = self.make_node(logical);
+                if slot.index() < self.engine.num_slots() {
+                    self.engine.rejoin_node(slot, node);
+                } else {
+                    let got = self.engine.add_node(node);
+                    assert_eq!(got, slot, "logical ids must join in order");
+                }
+            }
+            (true, false) => self.engine.remove_node(slot, StopReason::Crash),
+            _ => {}
+        }
+    }
+
+    fn mean_degree(&self) -> f64 {
+        let (sum, count) = self
+            .engine
+            .alive_nodes()
+            .fold((0usize, 0usize), |(s, c), (_, n)| (s + P::degree(n), c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64> {
+        self.monitor
+            .per_node_overhead(min_msgs)
+            .into_iter()
+            .map(|(_, pct)| pct)
+            .collect()
+    }
+
+    fn install_trace(&mut self, trace: TraceHandle) {
+        self.monitor.set_trace(Some(trace.clone()));
+        self.engine.set_trace(trace);
+    }
+
+    fn loss_report(&self) -> LossReport {
+        P::loss_report(self)
+    }
+
+    fn health_probe(&self) -> HealthProbe {
+        let graph = self.overlay_graph();
+        let engine = &self.engine;
+        let (clusters, largest) =
+            cluster_probe(&graph, &self.workload, |s| engine.is_alive(NodeIdx(s)));
+        let (ring_accuracy, mean_view_age) = P::structure_probe(self);
+        HealthProbe {
+            alive: self.engine.alive_count() as u64,
+            mean_degree: self.mean_degree(),
+            ring_accuracy,
+            mean_view_age,
+            clusters: Some(clusters),
+            largest_cluster: Some(largest),
+        }
+    }
+}

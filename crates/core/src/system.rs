@@ -1,85 +1,30 @@
-//! The system-level API: a whole Vitis network in one value, plus the
-//! [`PubSub`] trait that the RVR and OPT baselines also implement so the
-//! experiment harness can drive all three uniformly.
+//! The system-level API: construction parameters shared by all three
+//! systems, the [`VitisProtocol`] adapter that plugs the Vitis node into
+//! the generic [`SystemRuntime`], and the [`VitisSystem`] alias.
+//!
+//! The driver trait ([`PubSub`]) and the runtime that implements it live
+//! in [`crate::runtime`]; this module contributes only what is specific
+//! to Vitis — node construction, overlay accessors, rendezvous-aware
+//! loss classification — plus the parameter types the baselines reuse.
 
 use crate::config::VitisConfig;
 use crate::harness::Workload;
-use crate::monitor::{EventId, LossReason, LossReport, Monitor, PubSubStats};
+use crate::monitor::{EventId, LossReason, LossReport, Monitor};
 use crate::msg::VitisMsg;
 use crate::node::VitisNode;
-use crate::topic::{RateTable, TopicId, TopicSet};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
+use crate::runtime::{hybrid_rt_probe, PubSubProtocol, SystemRuntime};
+use crate::topic::{RateTable, Subs, TopicId, TopicSet};
 use rand::Rng;
 use std::collections::HashMap;
 use std::rc::Rc;
 use vitis_overlay::entry::Entry;
 use vitis_overlay::graph::Graph;
 use vitis_overlay::id::Id;
-use vitis_sim::engine::{Engine, EngineConfig};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::StopReason;
 use vitis_sim::rng::{domain, stream_rng};
-use vitis_sim::time::{Duration, SimTime};
-use vitis_sim::trace::{HealthProbe, TraceHandle};
+use vitis_sim::time::Duration;
 
-/// The uniform driver interface over Vitis, RVR and OPT systems.
-pub trait PubSub {
-    /// Advance `n` gossip rounds.
-    fn run_rounds(&mut self, n: u64);
-
-    /// Advance by raw simulation ticks (fine-grained churn interleaving).
-    fn run_ticks(&mut self, ticks: u64);
-
-    /// Publish one event on `topic` from a random online subscriber.
-    /// Returns `None` when no subscriber is online.
-    fn publish(&mut self, topic: TopicId) -> Option<EventId>;
-
-    /// Publish one event on a rate-weighted random topic.
-    fn publish_weighted(&mut self) -> Option<EventId>;
-
-    /// Metrics since the last reset.
-    fn stats(&self) -> PubSubStats;
-
-    /// Clear the measurement window (end of warmup).
-    fn reset_metrics(&mut self);
-
-    /// Current simulated time.
-    fn now(&self) -> SimTime;
-
-    /// Number of online nodes.
-    fn alive_count(&self) -> usize;
-
-    /// Bring a logical node online/offline (churn driver hook). No-op if
-    /// already in the requested state.
-    fn set_online(&mut self, logical: u32, online: bool);
-
-    /// Mean node degree over online nodes.
-    fn mean_degree(&self) -> f64;
-
-    /// Per-node traffic overhead percentages (Figure 5's distribution),
-    /// over nodes that received at least `min_msgs` data-plane messages.
-    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64>;
-
-    /// Install a shared trace into the system's engine **and** its
-    /// monitor: lifecycle and message events are recorded engine-side,
-    /// and per-event forensics records (`pub_event` / `fwd` /
-    /// `deliver_event` / `drop_event`) are recorded monitor-side, all
-    /// into the same ring buffer.
-    fn install_trace(&mut self, trace: TraceHandle);
-
-    /// Classify every missed `(event, subscriber)` pair of the current
-    /// window against the system's present structural state (see
-    /// [`LossReason`]). Per-reason counts sum exactly to
-    /// `expected - delivered`; when a trace is installed each miss also
-    /// emits a `drop_event` record.
-    fn loss_report(&self) -> LossReport;
-
-    /// Sample the overlay's structural health (ring consistency, view
-    /// staleness, subscriber clustering). All three systems fill what
-    /// they can measure; structure-less fields stay `None`.
-    fn health_probe(&self) -> HealthProbe;
-}
+pub use crate::runtime::PubSub;
 
 /// Subscriber-cluster statistics over up to four evenly spaced sample
 /// topics: `(component count, largest component)`. Shared by the health
@@ -140,16 +85,20 @@ impl NetworkSpec {
     }
 }
 
-/// Construction parameters for [`VitisSystem`] (and, mirrored, for the
-/// baseline systems).
+/// Construction parameters for any [`SystemRuntime`]-based system.
+///
+/// Subscriptions are interned behind shared [`Subs`] handles at
+/// construction, so cloning params for a side-by-side comparison (and
+/// every node/message assembly downstream) copies reference-counted
+/// pointers, not topic vectors.
 #[derive(Clone)]
 pub struct SystemParams {
     /// Master seed for the run.
     pub seed: u64,
     /// Protocol configuration.
     pub cfg: VitisConfig,
-    /// Per-logical-node subscriptions.
-    pub subscriptions: Vec<TopicSet>,
+    /// Per-logical-node subscriptions (shared handles).
+    pub subscriptions: Vec<Subs>,
     /// Number of topics.
     pub num_topics: usize,
     /// Per-topic publication rates.
@@ -167,6 +116,7 @@ pub struct SystemParams {
 impl SystemParams {
     /// Sensible defaults around a subscription assignment.
     pub fn new(subscriptions: Vec<TopicSet>, num_topics: usize) -> Self {
+        let subscriptions: Vec<Subs> = subscriptions.into_iter().map(Rc::new).collect();
         let n = subscriptions.len();
         let rates = RateTable::uniform(num_topics);
         let cfg = VitisConfig {
@@ -187,168 +137,33 @@ impl SystemParams {
     }
 }
 
-/// A complete Vitis network: engine, nodes, workload ground truth and
-/// metrics, behind a compact public API.
-pub struct VitisSystem {
-    engine: Engine<VitisNode, vitis_sim::network::DynNetworkModel>,
-    monitor: Monitor,
-    workload: Workload,
+/// A complete Vitis network behind the uniform [`PubSub`] API.
+pub type VitisSystem = SystemRuntime<VitisProtocol>;
+
+/// The Vitis adapter for [`SystemRuntime`]: hybrid-overlay nodes,
+/// rendezvous-aware loss classification, ring + view-age structure probe.
+pub struct VitisProtocol {
     cfg: Rc<VitisConfig>,
-    boot_rng: SmallRng,
-    bootstrap_contacts: usize,
 }
 
-impl VitisSystem {
-    /// Build and start a network with every node online.
-    pub fn new(params: SystemParams) -> Self {
-        params.cfg.validate();
-        let n = params.subscriptions.len();
-        let cfg = Rc::new(params.cfg);
-        let monitor = Monitor::new();
-        let workload = Workload::new(
-            params.subscriptions,
-            params.num_topics,
-            params.rates,
-            params.grace,
-            params.seed,
-        );
-        let engine = Engine::with_network(
-            EngineConfig {
-                seed: params.seed,
-                round_period: params.round_period,
-                desynchronize_rounds: true,
-            },
-            params.network.build(),
-        );
-        let boot_rng = stream_rng(params.seed, domain::WORKLOAD, u64::MAX);
-        let mut sys = VitisSystem {
-            engine,
-            monitor,
-            workload,
-            cfg,
-            boot_rng,
-            bootstrap_contacts: params.bootstrap_contacts,
-        };
-        for logical in 0..n as u32 {
-            let node = sys.make_node(logical);
-            let slot = sys.engine.add_node(node);
-            debug_assert_eq!(slot.0, logical);
-        }
-        sys
-    }
-
-    fn make_node(&mut self, logical: u32) -> VitisNode {
-        let subs = self.workload.subs_of(logical).clone();
-        let bootstrap = self.bootstrap_entries();
-        VitisNode::new(
-            Id::of_node(logical as u64),
-            subs,
-            self.cfg.clone(),
-            self.workload.rates().clone(),
-            self.monitor.clone(),
-            bootstrap,
-        )
-    }
-
-    /// Sample bootstrap contacts among currently online nodes (the
-    /// bootstrap-server emulation of Algorithm 1).
-    fn bootstrap_entries(&mut self) -> Vec<Entry<Rc<TopicSet>>> {
-        let mut alive: Vec<NodeIdx> = self.engine.alive_indices();
-        alive.shuffle(&mut self.boot_rng);
-        alive
-            .into_iter()
-            .take(self.bootstrap_contacts)
-            .map(|slot| {
-                let node = self.engine.node(slot).expect("sampled alive node");
-                Entry::fresh(slot, node.ring_id(), node.subscriptions().clone())
-            })
-            .collect()
-    }
-
-    /// The shared monitor (e.g. for custom event registration in tests).
-    pub fn monitor(&self) -> &Monitor {
-        &self.monitor
-    }
-
-    /// The underlying engine (read access for snapshots).
-    pub fn engine(&self) -> &Engine<VitisNode, vitis_sim::network::DynNetworkModel> {
-        &self.engine
-    }
-
-    /// Replace the subscriptions of an online node at runtime; the change
-    /// is reflected both in the delivery ground truth and in the node's
-    /// next profile heartbeat.
-    pub fn resubscribe(&mut self, logical: u32, new_subs: TopicSet) {
-        self.workload.resubscribe(logical, new_subs);
-        let subs = self.workload.subs_of(logical).clone();
-        if let Some(node) = self.engine.node_mut(NodeIdx(logical)) {
-            node.set_subscriptions(subs);
-        }
-    }
-
-    /// The workload ground truth.
-    pub fn workload(&self) -> &Workload {
-        &self.workload
-    }
-
-    /// Snapshot the current overlay as an undirected graph (an edge per
-    /// routing-table link to an online node).
-    pub fn overlay_graph(&self) -> Graph {
-        let n = self.engine.num_slots();
-        let mut g = Graph::new(n);
-        for (idx, node) in self.engine.alive_nodes() {
-            for e in node.routing_table().iter() {
-                if self.engine.is_alive(e.addr) {
-                    g.add_edge(idx.0, e.addr.0);
-                }
-            }
-        }
-        g
-    }
-
-    /// The clusters (maximal connected subscriber subgraphs) of `topic` in
-    /// the current overlay.
-    pub fn topic_clusters(&self, topic: TopicId) -> Vec<Vec<u32>> {
-        let g = self.overlay_graph();
-        let subs: Vec<u32> = self
-            .workload
-            .subscribers(topic)
-            .iter()
-            .copied()
-            .filter(|&s| self.engine.is_alive(NodeIdx(s)))
-            .collect();
-        g.components_within(&subs)
-    }
-
-    /// Publish from an explicit node (must be online). Returns the event id.
-    pub fn publish_from(&mut self, publisher: u32, topic: TopicId) -> Option<EventId> {
-        if !self.engine.is_alive(NodeIdx(publisher)) {
-            return None;
-        }
-        let now = self.engine.now();
-        let engine = &self.engine;
-        let expected = self.workload.expected_subscribers(topic, publisher, now, |s| {
-            engine.joined_at(NodeIdx(s))
-        });
-        let event = self.monitor.register_event(topic, now, expected);
-        self.monitor.trace_publish(event, NodeIdx(publisher));
-        self.engine.inject(
-            NodeIdx(publisher),
-            VitisMsg::PublishCmd { event, topic },
-        );
-        Some(event)
+impl VitisProtocol {
+    /// The shared protocol configuration.
+    pub fn config(&self) -> &Rc<VitisConfig> {
+        &self.cfg
     }
 
     /// Classify one missed `(event, subscriber)` pair against the current
-    /// overlay structure. `graph` is the overlay snapshot, `comps` the
-    /// alive-subscriber components of the miss's topic within it.
+    /// overlay structure. `comps` are the alive-subscriber components of
+    /// the miss's topic, `rendezvous_claims` the number of nodes claiming
+    /// the topic's rendezvous relay.
     fn classify_miss(
-        &self,
+        rt: &SystemRuntime<Self>,
         comps: &[Vec<u32>],
         rendezvous_claims: usize,
         miss: &crate::monitor::MissContext<'_>,
     ) -> LossReason {
-        if !self.engine.is_alive(miss.subscriber) {
+        let engine = rt.engine();
+        if !engine.is_alive(miss.subscriber) {
             return LossReason::SubscriberChurned;
         }
         let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
@@ -367,7 +182,7 @@ impl VitisSystem {
         }
         let gateways: Vec<&VitisNode> = comp
             .iter()
-            .filter_map(|&x| self.engine.node(NodeIdx(x)))
+            .filter_map(|&x| engine.node(NodeIdx(x)))
             .filter(|n| n.is_gateway(miss.topic))
             .collect();
         if gateways.is_empty() {
@@ -382,133 +197,69 @@ impl VitisSystem {
             _ => LossReason::RingMisroute, // conflicting rendezvous points
         }
     }
-
-    /// Fraction of online nodes whose successor pointer matches the true
-    /// ring (convergence diagnostic).
-    pub fn ring_accuracy(&self) -> f64 {
-        let nodes: Vec<(Id, Option<Id>)> = self
-            .engine
-            .alive_nodes()
-            .map(|(_, n)| {
-                (
-                    n.ring_id(),
-                    n.routing_table().succ.as_ref().and_then(|s| {
-                        self.engine.is_alive(s.addr).then_some(s.id)
-                    }),
-                )
-            })
-            .collect();
-        vitis_overlay::ring::ring_accuracy(&nodes)
-    }
 }
 
-impl PubSub for VitisSystem {
-    fn run_rounds(&mut self, n: u64) {
-        self.engine.run_rounds(n);
-    }
+impl PubSubProtocol for VitisProtocol {
+    type Node = VitisNode;
 
-    fn run_ticks(&mut self, ticks: u64) {
-        self.engine.run_for(Duration(ticks));
-    }
+    const BOOT_SALT: u64 = u64::MAX;
 
-    fn publish(&mut self, topic: TopicId) -> Option<EventId> {
-        let engine = &self.engine;
-        let publisher = self
-            .workload
-            .choose_publisher(topic, |s| engine.is_alive(NodeIdx(s)))?;
-        self.publish_from(publisher, topic)
-    }
-
-    fn publish_weighted(&mut self) -> Option<EventId> {
-        let topic = self.workload.draw_topic();
-        self.publish(topic)
-    }
-
-    fn stats(&self) -> PubSubStats {
-        self.monitor
-            .snapshot()
-            .with_kind_traffic(&self.engine.kind_traffic())
-    }
-
-    fn reset_metrics(&mut self) {
-        self.monitor.reset();
-        self.engine.reset_kind_traffic();
-    }
-
-    fn now(&self) -> SimTime {
-        self.engine.now()
-    }
-
-    fn alive_count(&self) -> usize {
-        self.engine.alive_count()
-    }
-
-    fn set_online(&mut self, logical: u32, online: bool) {
-        let slot = NodeIdx(logical);
-        let is_alive = self.engine.is_alive(slot);
-        match (is_alive, online) {
-            (false, true) => {
-                let node = self.make_node(logical);
-                if (slot.index()) < self.engine.num_slots() {
-                    self.engine.rejoin_node(slot, node);
-                } else {
-                    let got = self.engine.add_node(node);
-                    assert_eq!(got, slot, "logical ids must join in order");
-                }
-            }
-            (true, false) => {
-                self.engine.remove_node(slot, StopReason::Crash);
-            }
-            _ => {}
+    fn from_params(params: &SystemParams) -> Self {
+        params.cfg.validate();
+        VitisProtocol {
+            cfg: Rc::new(params.cfg.clone()),
         }
     }
 
-    fn mean_degree(&self) -> f64 {
-        let (sum, count) = self
-            .engine
-            .alive_nodes()
-            .fold((0usize, 0usize), |(s, c), (_, n)| {
-                (s + n.routing_table().len(), c + 1)
-            });
-        if count == 0 {
-            0.0
-        } else {
-            sum as f64 / count as f64
+    fn make_node(
+        &self,
+        logical: u32,
+        subs: Subs,
+        bootstrap: Vec<Entry<Subs>>,
+        rates: &Rc<RateTable>,
+        monitor: &Monitor,
+    ) -> VitisNode {
+        VitisNode::new(
+            Id::of_node(logical as u64),
+            subs,
+            self.cfg.clone(),
+            rates.clone(),
+            monitor.clone(),
+            bootstrap,
+        )
+    }
+
+    fn describe(node: &VitisNode) -> (Id, Subs) {
+        (node.ring_id(), node.subscriptions().clone())
+    }
+
+    fn degree(node: &VitisNode) -> usize {
+        node.routing_table().len()
+    }
+
+    fn for_each_neighbor(node: &VitisNode, mut f: impl FnMut(NodeIdx)) {
+        for e in node.routing_table().iter() {
+            f(e.addr);
         }
     }
 
-    fn per_node_overhead(&self, min_msgs: u64) -> Vec<f64> {
-        self.monitor
-            .per_node_overhead(min_msgs)
-            .into_iter()
-            .map(|(_, pct)| pct)
-            .collect()
+    fn publish_cmd(event: EventId, topic: TopicId) -> VitisMsg {
+        VitisMsg::PublishCmd { event, topic }
     }
 
-    fn install_trace(&mut self, trace: TraceHandle) {
-        self.monitor.set_trace(Some(trace.clone()));
-        self.engine.set_trace(trace);
-    }
-
-    fn loss_report(&self) -> LossReport {
-        let graph = self.overlay_graph();
+    fn loss_report(rt: &SystemRuntime<Self>) -> LossReport {
+        let graph = rt.overlay_graph();
+        let engine = rt.engine();
         // Lazily computed per-topic state, shared across the misses of a
         // topic: alive-subscriber components and rendezvous-claim counts.
         let mut comps_by_topic: HashMap<TopicId, Vec<Vec<u32>>> = HashMap::new();
         let mut rdv_by_topic: HashMap<TopicId, usize> = HashMap::new();
-        self.monitor.attribute_losses(self.engine.now(), |miss| {
-            let comps = comps_by_topic.entry(miss.topic).or_insert_with(|| {
-                let subs: Vec<u32> = self
-                    .workload
-                    .subscribers(miss.topic)
-                    .iter()
-                    .copied()
-                    .filter(|&s| self.engine.is_alive(NodeIdx(s)))
-                    .collect();
-                graph.components_within(&subs)
-            });
+        rt.monitor().attribute_losses(engine.now(), |miss| {
+            let comps = comps_by_topic
+                .entry(miss.topic)
+                .or_insert_with(|| graph.components_within(&rt.alive_subscribers(miss.topic)));
             let rdv = *rdv_by_topic.entry(miss.topic).or_insert_with(|| {
-                self.engine
+                engine
                     .alive_nodes()
                     .filter(|(_, n)| {
                         n.relay_table()
@@ -517,28 +268,13 @@ impl PubSub for VitisSystem {
                     })
                     .count()
             });
-            self.classify_miss(comps, rdv, miss)
+            Self::classify_miss(rt, comps, rdv, miss)
         })
     }
 
-    fn health_probe(&self) -> HealthProbe {
-        let (age_sum, entries) = self
-            .engine
-            .alive_nodes()
-            .flat_map(|(_, n)| n.routing_table().iter())
-            .fold((0u64, 0u64), |(s, c), e| (s + u64::from(e.age), c + 1));
-        let graph = self.overlay_graph();
-        let engine = &self.engine;
-        let (clusters, largest) =
-            cluster_probe(&graph, &self.workload, |s| engine.is_alive(NodeIdx(s)));
-        HealthProbe {
-            alive: self.engine.alive_count() as u64,
-            mean_degree: self.mean_degree(),
-            ring_accuracy: Some(self.ring_accuracy()),
-            mean_view_age: (entries > 0).then(|| age_sum as f64 / entries as f64),
-            clusters: Some(clusters),
-            largest_cluster: Some(largest),
-        }
+    fn structure_probe(rt: &SystemRuntime<Self>) -> (Option<f64>, Option<f64>) {
+        let (ring, age) = hybrid_rt_probe(rt, |n| n.routing_table());
+        (Some(ring), age)
     }
 }
 
@@ -796,5 +532,17 @@ mod tests {
         sys.run_rounds(5);
         let s = sys.stats();
         assert!(s.hit_ratio > 0.97, "hit {}", s.hit_ratio);
+    }
+
+    #[test]
+    fn params_clone_shares_subscription_storage() {
+        let sys_params = SystemParams::new(
+            vec![TopicSet::from_iter([0u32, 1]); 8],
+            2,
+        );
+        let cloned = sys_params.clone();
+        for (a, b) in sys_params.subscriptions.iter().zip(&cloned.subscriptions) {
+            assert!(Rc::ptr_eq(a, b), "clone must share interned topic sets");
+        }
     }
 }

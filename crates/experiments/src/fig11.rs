@@ -10,7 +10,7 @@ use crate::obs::Obs;
 use crate::report::{Figure, Series};
 use crate::scale::Scale;
 use vitis::system::PubSub;
-use vitis_baselines::{OptConfig, OptSystem};
+use vitis_baselines::{OptConfig, OptProtocol, OptSystem};
 
 /// Degree statistics of the unbounded run.
 #[derive(Clone, Debug)]
@@ -28,12 +28,12 @@ pub struct DegreeStats {
 pub fn degree_stats(scale: &Scale) -> DegreeStats {
     let mut ctx = Obs::global().start("fig11", "opt-unbounded");
     let params = twitter_params(scale);
-    let mut sys = OptSystem::with_config(
-        params,
-        OptConfig {
+    let mut sys = OptSystem::with_protocol(
+        OptProtocol::with_config(OptConfig {
             max_degree: None,
             ..OptConfig::default()
-        },
+        }),
+        params,
     );
     ctx.phase("build");
     ctx.install_trace(&mut sys);

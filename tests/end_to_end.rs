@@ -2,7 +2,7 @@
 //! the same pipeline as the experiment harness.
 
 use vitis::prelude::*;
-use vitis_baselines::{OptConfig, OptSystem, RvrSystem};
+use vitis_baselines::{OptConfig, OptProtocol, OptSystem, RvrSystem};
 use vitis_workloads::{Correlation, SubscriptionModel};
 
 fn params(corr: Correlation, n: usize, seed: u64) -> SystemParams {
@@ -156,20 +156,20 @@ fn flash_crowd_recovery() {
 fn opt_trades_degree_for_coverage() {
     let p = params(Correlation::High, 400, 23);
     let topics = p.num_topics;
-    let mut bounded = OptSystem::with_config(
-        p.clone(),
-        OptConfig {
+    let mut bounded = OptSystem::with_protocol(
+        OptProtocol::with_config(OptConfig {
             max_degree: Some(10),
             ..OptConfig::default()
-        },
+        }),
+        p.clone(),
     );
     let bs = warm_and_publish(&mut bounded, topics);
-    let mut unbounded = OptSystem::with_config(
-        p,
-        OptConfig {
+    let mut unbounded = OptSystem::with_protocol(
+        OptProtocol::with_config(OptConfig {
             max_degree: None,
             ..OptConfig::default()
-        },
+        }),
+        p,
     );
     let us = warm_and_publish(&mut unbounded, topics);
     assert!(us.hit_ratio >= bs.hit_ratio);

@@ -1,0 +1,43 @@
+//! Instantiates the shared [`vitis::conformance`] suite for all three
+//! systems: one contract, three implementations driven through the same
+//! generic runtime — any divergence in driver semantics fails here with
+//! the system's name in the message.
+
+use rand::Rng;
+use vitis::conformance::check_pubsub_conformance;
+use vitis::system::{SystemParams, VitisSystem};
+use vitis::topic::TopicSet;
+use vitis_baselines::{OptSystem, RvrSystem};
+use vitis_sim::rng::{domain, stream_rng};
+
+const NODES: usize = 120;
+const TOPICS: u32 = 10;
+const CHURN_NODES: u32 = 12;
+
+fn params(seed: u64) -> SystemParams {
+    let mut rng = stream_rng(seed, domain::WORKLOAD, 1);
+    let subscriptions: Vec<TopicSet> = (0..NODES)
+        .map(|_| TopicSet::from_iter((0..4).map(|_| rng.gen_range(0..TOPICS))))
+        .collect();
+    let mut p = SystemParams::new(subscriptions, TOPICS as usize);
+    p.seed = seed;
+    p
+}
+
+#[test]
+fn vitis_conforms_to_pubsub_contract() {
+    let mut sys = VitisSystem::new(params(61));
+    check_pubsub_conformance(&mut sys, "vitis", TOPICS, CHURN_NODES);
+}
+
+#[test]
+fn rvr_conforms_to_pubsub_contract() {
+    let mut sys = RvrSystem::new(params(61));
+    check_pubsub_conformance(&mut sys, "rvr", TOPICS, CHURN_NODES);
+}
+
+#[test]
+fn opt_conforms_to_pubsub_contract() {
+    let mut sys = OptSystem::new(params(61));
+    check_pubsub_conformance(&mut sys, "opt", TOPICS, CHURN_NODES);
+}
