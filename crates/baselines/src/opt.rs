@@ -265,6 +265,13 @@ impl Protocol for OptNode {
         }
     }
 
+    fn event_of(msg: &OptMsg) -> Option<u64> {
+        match msg {
+            OptMsg::Notif { event, .. } => Some(event.0),
+            _ => None,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, OptMsg>) {
         self.addr = ctx.self_idx;
         let contacts = std::mem::take(&mut self.bootstrap);

@@ -301,6 +301,13 @@ impl Protocol for RvrNode {
         }
     }
 
+    fn event_of(msg: &RvrMsg) -> Option<u64> {
+        match msg {
+            RvrMsg::Notif { event, .. } => Some(event.0),
+            _ => None,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, RvrMsg>) {
         self.addr = ctx.self_idx;
         let contacts = std::mem::take(&mut self.bootstrap);

@@ -42,6 +42,15 @@ impl RvrProtocol {
         if !engine.is_alive(miss.subscriber) {
             return LossReason::SubscriberChurned;
         }
+        if engine
+            .network_event_drops()
+            .iter()
+            .any(|&(e, s)| e == miss.event.0 && s == miss.subscriber.0)
+        {
+            // A copy addressed to this subscriber died in transit and no
+            // later copy arrived.
+            return LossReason::Network;
+        }
         let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
             return LossReason::PartitionedCluster;
         };
@@ -227,6 +236,13 @@ impl PubSubProtocol for OptProtocol {
         rt.monitor().attribute_losses(engine.now(), |miss| {
             if !engine.is_alive(miss.subscriber) {
                 return LossReason::SubscriberChurned;
+            }
+            if engine
+                .network_event_drops()
+                .iter()
+                .any(|&(e, s)| e == miss.event.0 && s == miss.subscriber.0)
+            {
+                return LossReason::Network;
             }
             let comps = comps_by_topic
                 .entry(miss.topic)

@@ -44,7 +44,7 @@ fn median_us(samples: usize, mut f: impl FnMut()) -> f64 {
         .collect();
     times.sort_by(|a, b| a.total_cmp(b));
     let mid = times.len() / 2;
-    if times.len() % 2 == 0 {
+    if times.len().is_multiple_of(2) {
         (times[mid - 1] + times[mid]) / 2.0
     } else {
         times[mid]

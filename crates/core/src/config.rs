@@ -53,6 +53,29 @@ pub struct VitisConfig {
     /// Ablation: when false, friend slots are filled with random candidates
     /// instead of Equation 1 ranking — isolates the clustering benefit.
     pub utility_selection: bool,
+    /// Fault hardening: publisher-side retries. After publishing, if no
+    /// gateway/relay holder acknowledges within
+    /// [`VitisConfig::publish_ack_timeout`], the publisher re-floods the
+    /// notification, up to this many times with capped exponential
+    /// backoff. `0` (the default) disables retries and acknowledgments
+    /// entirely — the fault-free path is bit-identical to earlier builds.
+    pub publish_retries: u32,
+    /// Ticks a publisher waits for the first acknowledgment before its
+    /// first retry; subsequent retries double the wait.
+    pub publish_ack_timeout: u64,
+    /// Upper bound on the exponential retry backoff, in ticks.
+    pub publish_backoff_cap: u64,
+    /// Fault hardening: TTL bound on notification forwarding. Copies that
+    /// have travelled this many hops are still delivered locally but no
+    /// longer forwarded, so traffic trapped by a partition dies out
+    /// instead of wandering. `u32::MAX` (the default) disables the bound.
+    pub max_event_hops: u32,
+    /// Fault hardening: gateway failover. When true, remembered neighbor
+    /// proposals age each round and are discarded once they exceed
+    /// [`VitisConfig::age_threshold`] without a refreshing heartbeat, so
+    /// the election re-runs without the silent gateway mid-episode
+    /// instead of waiting for the neighbor entry itself to expire.
+    pub gateway_failover: bool,
 }
 
 impl Default for VitisConfig {
@@ -70,6 +93,11 @@ impl Default for VitisConfig {
             max_lookup_hops: 128,
             gateway_election: true,
             utility_selection: true,
+            publish_retries: 0,
+            publish_ack_timeout: 96,
+            publish_backoff_cap: 512,
+            max_event_hops: u32::MAX,
+            gateway_failover: false,
         }
     }
 }
@@ -91,6 +119,11 @@ impl VitisConfig {
         assert!(self.d_max_hops >= 1, "d_max_hops must be at least 1");
         assert!(self.sampling_view >= 1, "sampling view must be non-empty");
         assert!(self.max_lookup_hops >= 1, "lookups need at least one hop");
+        assert!(self.max_event_hops >= 1, "events need at least one hop");
+        assert!(
+            self.publish_retries == 0 || self.publish_ack_timeout >= 1,
+            "retries need a positive ack timeout"
+        );
     }
 
     /// The Figure 4 sweep: fix `rt_size`, dedicate 2 entries to the ring and

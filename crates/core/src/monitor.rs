@@ -104,17 +104,24 @@ pub enum LossReason {
     /// or forwarding stopped before covering it (e.g. window closed too
     /// early, or a forwarding gap).
     IncompleteFlood,
+    /// The network itself dropped a copy addressed to this subscriber
+    /// (lossy link, partition, freeze suppression) and no other copy
+    /// arrived — classified from the engine's transit-drop record.
+    Network,
 }
 
 impl LossReason {
-    /// Every reason, in display order.
-    pub const ALL: [LossReason; 6] = [
+    /// Every reason, in display order. `Network` stays last so reports
+    /// and goldens from pre-fault-injection runs only gain a trailing
+    /// zero-count entry.
+    pub const ALL: [LossReason; 7] = [
         LossReason::SubscriberChurned,
         LossReason::NoGateway,
         LossReason::RelayBroken,
         LossReason::RingMisroute,
         LossReason::PartitionedCluster,
         LossReason::IncompleteFlood,
+        LossReason::Network,
     ];
 
     /// Stable snake_case name used in `drop_event` trace records.
@@ -126,6 +133,7 @@ impl LossReason {
             LossReason::RingMisroute => "ring_misroute",
             LossReason::PartitionedCluster => "partitioned_cluster",
             LossReason::IncompleteFlood => "incomplete_flood",
+            LossReason::Network => "network",
         }
     }
 
@@ -175,6 +183,66 @@ impl LossReport {
             .iter()
             .find(|(r, _)| *r == reason)
             .map_or(0, |(_, n)| *n)
+    }
+}
+
+/// Reconvergence measurement for one fault episode: how long after the
+/// episode ends does the hit ratio climb back to its pre-fault baseline?
+///
+/// Usage: capture the baseline hit ratio before injecting the episode,
+/// construct the tracker with the episode's end time and a tolerance, then
+/// feed per-round hit-ratio samples via [`ReconvergenceTracker::observe`].
+/// The recovery time is the span from episode end to the first sample at
+/// or above `baseline - tolerance`; it stays `None` (infinite — the system
+/// never reconverged) if no such sample arrives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconvergenceTracker {
+    baseline: f64,
+    episode_end: SimTime,
+    tolerance: f64,
+    recovered_at: Option<SimTime>,
+}
+
+impl ReconvergenceTracker {
+    /// Track recovery toward `baseline` (a hit ratio in `[0, 1]` captured
+    /// before the fault) after an episode ending at `episode_end`, calling
+    /// the system recovered once samples reach `baseline - tolerance`.
+    pub fn new(baseline: f64, episode_end: SimTime, tolerance: f64) -> Self {
+        ReconvergenceTracker {
+            baseline,
+            episode_end,
+            tolerance: tolerance.max(0.0),
+            recovered_at: None,
+        }
+    }
+
+    /// The pre-fault baseline hit ratio being recovered toward.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Feed one hit-ratio sample taken at `now`. Samples during the
+    /// episode are ignored; the first qualifying post-episode sample is
+    /// latched. Returns the recovery time once known.
+    pub fn observe(&mut self, now: SimTime, hit_ratio: f64) -> Option<vitis_sim::time::Duration> {
+        if self.recovered_at.is_none()
+            && now >= self.episode_end
+            && hit_ratio >= self.baseline - self.tolerance
+        {
+            self.recovered_at = Some(now);
+        }
+        self.recovery_time()
+    }
+
+    /// Time from episode end to the latched recovery sample, or `None`
+    /// while (or if never) unrecovered.
+    pub fn recovery_time(&self) -> Option<vitis_sim::time::Duration> {
+        self.recovered_at.map(|t| t.since(self.episode_end))
+    }
+
+    /// Whether a qualifying post-episode sample has been seen.
+    pub fn recovered(&self) -> bool {
+        self.recovered_at.is_some()
     }
 }
 
@@ -769,6 +837,31 @@ mod forensics_tests {
 
     fn n(i: u32) -> NodeIdx {
         NodeIdx(i)
+    }
+
+    #[test]
+    fn reconvergence_tracker_latches_first_recovery() {
+        let mut tr = ReconvergenceTracker::new(0.95, SimTime(100), 0.02);
+        assert_eq!(tr.baseline(), 0.95);
+        // Samples during the episode never count, however good.
+        assert_eq!(tr.observe(SimTime(50), 1.0), None);
+        // Below baseline - tolerance: still recovering.
+        assert_eq!(tr.observe(SimTime(120), 0.80), None);
+        // First qualifying sample latches the recovery time...
+        assert_eq!(
+            tr.observe(SimTime(150), 0.94),
+            Some(vitis_sim::time::Duration(50))
+        );
+        assert!(tr.recovered());
+        // ...and later samples cannot move it.
+        assert_eq!(
+            tr.observe(SimTime(200), 1.0),
+            Some(vitis_sim::time::Duration(50))
+        );
+        // A system that never recovers reports None forever.
+        let mut never = ReconvergenceTracker::new(0.99, SimTime(10), 0.0);
+        assert_eq!(never.observe(SimTime(1000), 0.5), None);
+        assert!(!never.recovered());
     }
 
     #[test]

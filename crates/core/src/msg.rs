@@ -68,6 +68,24 @@ pub enum VitisMsg {
         /// Topic to publish on.
         topic: TopicId,
     },
+    /// Acknowledgment from a gateway/relay holder back to the publisher:
+    /// the rendezvous infrastructure saw this event. Only emitted when
+    /// publisher retries are enabled (`publish_retries > 0`).
+    PubAck {
+        /// The acknowledged event.
+        event: EventId,
+    },
+    /// Self-addressed retry timer: if `event` is still unacknowledged when
+    /// this fires, re-flood it and re-arm with doubled backoff. Never
+    /// crosses the network.
+    RetryPublish {
+        /// The event awaiting acknowledgment.
+        event: EventId,
+        /// Its topic, for the re-flood.
+        topic: TopicId,
+        /// Retry attempt number, 1-based; drives the backoff exponent.
+        attempt: u32,
+    },
 }
 
 /// Approximate serialized sizes, in bytes, for bandwidth accounting: a node
@@ -95,6 +113,9 @@ pub mod wire {
     /// Bytes of a relay request (topic + hop counter + framing).
     pub const RELAY_REQUEST_BYTES: u64 = 12;
 
+    /// Bytes of a publish acknowledgment (event id + framing).
+    pub const PUB_ACK_BYTES: u64 = 12;
+
     /// Approximate wire size of any Vitis message. `Notification` and
     /// `PublishCmd` are data-plane (the monitor tracks them separately as
     /// message counts); their control framing is 16 bytes.
@@ -105,6 +126,10 @@ pub mod wire {
             }
             VitisMsg::Profile(pm) => profile_bytes(pm),
             VitisMsg::RelayRequest { .. } => RELAY_REQUEST_BYTES,
+            VitisMsg::PubAck { .. } => PUB_ACK_BYTES,
+            // RetryPublish is a self-timer and never crosses the network;
+            // its size only matters for totality.
+            VitisMsg::RetryPublish { .. } => 0,
             VitisMsg::Notification(_) | VitisMsg::PublishCmd { .. } => 16,
         }
     }

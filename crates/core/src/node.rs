@@ -28,6 +28,17 @@ struct ReverseLink {
     age: u16,
 }
 
+/// A neighbor's latest advertised gateway proposals plus the rounds elapsed
+/// since the advertising heartbeat. The age only matters when gateway
+/// failover is enabled: stale advertisements past the failure-detection
+/// threshold are then excluded from elections, so a silent (crashed, frozen
+/// or partitioned-away) gateway loses its electorate within `age_threshold`
+/// rounds instead of whenever its descriptor finally expires.
+struct NbrProposals {
+    props: Rc<Vec<(TopicId, Proposal)>>,
+    age: u16,
+}
+
 /// A Vitis peer. Construct with [`VitisNode::new`] and hand to the engine;
 /// the [`crate::system::VitisSystem`] wrapper does this for whole networks.
 pub struct VitisNode {
@@ -50,8 +61,8 @@ pub struct VitisNode {
     /// Own gateway proposal per subscribed topic (recomputed each round).
     proposals: BTreeMap<TopicId, Proposal>,
     /// Latest proposals advertised by each neighbor (routing-table or
-    /// reverse).
-    nbr_proposals: BTreeMap<NodeIdx, Rc<Vec<(TopicId, Proposal)>>>,
+    /// reverse), with staleness for the failover path.
+    nbr_proposals: BTreeMap<NodeIdx, NbrProposals>,
     /// Reverse links: nodes that hold *us* in their routing table, learned
     /// from their heartbeats. Overlay links are connections — flooding and
     /// gateway election must see them from both ends, or weakly-connected
@@ -61,6 +72,9 @@ pub struct VitisNode {
     relays: RelayTable,
     /// Events already processed (forwarding dedup).
     seen: HashSet<EventId>,
+    /// Events this node published that still await a gateway/relay-holder
+    /// acknowledgment. Empty unless `publish_retries > 0`.
+    pending_pubs: HashSet<EventId>,
     /// Rounds executed (drives the friend-ablation pseudo-random ranking).
     round: u64,
     /// Ring-density network-size estimator (used when configured).
@@ -97,6 +111,7 @@ impl VitisNode {
             reverse: BTreeMap::new(),
             relays: RelayTable::new(),
             seen: HashSet::new(),
+            pending_pubs: HashSet::new(),
             round: 0,
             size_est: SizeEstimator::default(),
         }
@@ -242,10 +257,17 @@ impl VitisNode {
                     .iter()
                     .filter(|(a, l)| l.subs.contains(topic) && !self.rt.contains(**a))
                     .map(|(a, _)| *a);
+                // With failover on, advertisements older than the failure-
+                // detection threshold have lost their vote: the advertiser
+                // has gone silent, so whatever gateway it endorsed may be
+                // gone too, and the election re-runs without it.
+                let failover = self.cfg.gateway_failover;
+                let thr = self.cfg.age_threshold;
                 let with_props = rt_nbrs.chain(rev_nbrs).filter_map(|addr| {
                     self.nbr_proposals
                         .get(&addr)
-                        .and_then(|ps| ps.iter().find(|(t, _)| *t == topic))
+                        .filter(|np| !failover || np.age <= thr)
+                        .and_then(|np| np.props.iter().find(|(t, _)| *t == topic))
                         .map(|(_, p)| (addr, p))
                 });
                 let rt = &self.rt;
@@ -341,6 +363,18 @@ impl VitisNode {
     fn on_notification(&mut self, ctx: &mut Context<'_, VitisMsg>, from: NodeIdx, notif: Notification) {
         let interested = self.subs.contains(notif.topic);
         self.monitor.record_data_rx(self.addr, interested);
+        // Retry hardening: gateways and relay holders acknowledge copies
+        // that came straight from the publisher — including duplicates,
+        // since the previous ack (or the retransmission prompting it) may
+        // itself have been lost. Must run before the dedup check.
+        if self.cfg.publish_retries > 0
+            && notif.hops == 1
+            && (self.is_gateway(notif.topic) || self.relays.has(notif.topic))
+        {
+            self.monitor
+                .record_control_tx(self.addr, wire::PUB_ACK_BYTES);
+            ctx.send(from, VitisMsg::PubAck { event: notif.event });
+        }
         if !self.seen.insert(notif.event) {
             return;
         }
@@ -355,6 +389,12 @@ impl VitisNode {
                 ctx.now,
                 &path_here,
             );
+        }
+        // TTL hardening: deliver locally but stop forwarding once the copy
+        // has exhausted its hop budget, so traffic trapped by a partition
+        // dies out. Disabled (u32::MAX) by default.
+        if notif.hops >= self.cfg.max_event_hops {
+            return;
         }
         let fwd = Notification {
             hops: notif.hops + 1,
@@ -401,6 +441,58 @@ impl VitisNode {
             path: HopPath::origin(self.addr),
         };
         self.forward_notification(ctx, None, notif);
+        if self.cfg.publish_retries > 0 {
+            self.pending_pubs.insert(event);
+            ctx.timer(
+                vitis_sim::time::Duration(self.cfg.publish_ack_timeout),
+                VitisMsg::RetryPublish {
+                    event,
+                    topic,
+                    attempt: 1,
+                },
+            );
+        }
+    }
+
+    /// A retry timer fired: if the event is still unacknowledged, re-flood
+    /// it (the overlay may have re-elected gateways since) and re-arm with
+    /// doubled, capped backoff until the retry budget runs out.
+    fn on_retry_publish(
+        &mut self,
+        ctx: &mut Context<'_, VitisMsg>,
+        event: EventId,
+        topic: TopicId,
+        attempt: u32,
+    ) {
+        if !self.pending_pubs.contains(&event) {
+            return;
+        }
+        let notif = Notification {
+            event,
+            topic,
+            hops: 1,
+            path: HopPath::origin(self.addr),
+        };
+        self.forward_notification(ctx, None, notif);
+        if attempt < self.cfg.publish_retries {
+            let delay = self
+                .cfg
+                .publish_ack_timeout
+                .checked_shl(attempt)
+                .unwrap_or(u64::MAX)
+                .min(self.cfg.publish_backoff_cap);
+            ctx.timer(
+                vitis_sim::time::Duration(delay),
+                VitisMsg::RetryPublish {
+                    event,
+                    topic,
+                    attempt: attempt + 1,
+                },
+            );
+        } else {
+            // Retry budget exhausted: give up so the set stays bounded.
+            self.pending_pubs.remove(&event);
+        }
     }
 }
 
@@ -417,6 +509,15 @@ impl Protocol for VitisNode {
             VitisMsg::RelayRequest { .. } => MsgTag::control("relay_req"),
             VitisMsg::Notification(_) => MsgTag::data("notification"),
             VitisMsg::PublishCmd { .. } => MsgTag::data("publish_cmd"),
+            VitisMsg::PubAck { .. } => MsgTag::control("pub_ack"),
+            VitisMsg::RetryPublish { .. } => MsgTag::control("retry_pub"),
+        }
+    }
+
+    fn event_of(msg: &VitisMsg) -> Option<u64> {
+        match msg {
+            VitisMsg::Notification(n) => Some(n.event.0),
+            _ => None,
         }
     }
 
@@ -506,6 +607,14 @@ impl Protocol for VitisNode {
             keep
         });
 
+        // Failover only: remembered proposal advertisements age alongside
+        // the neighbors that sent them (reset on each heartbeat).
+        if self.cfg.gateway_failover {
+            for np in self.nbr_proposals.values_mut() {
+                np.age = np.age.saturating_add(1);
+            }
+        }
+
         // 4. Relay soft state ages out unless refreshed below.
         self.relays.tick();
         self.relays.expire(self.cfg.relay_ttl);
@@ -573,7 +682,13 @@ impl Protocol for VitisNode {
                     );
                     self.consider_ring_candidate(from, pm.id, pm.subs);
                 }
-                self.nbr_proposals.insert(from, pm.proposals);
+                self.nbr_proposals.insert(
+                    from,
+                    NbrProposals {
+                        props: pm.proposals,
+                        age: 0,
+                    },
+                );
             }
             VitisMsg::RelayRequest { topic, hops } => {
                 self.on_relay_request(ctx, from, topic, hops);
@@ -583,6 +698,16 @@ impl Protocol for VitisNode {
             }
             VitisMsg::PublishCmd { event, topic } => {
                 self.on_publish(ctx, event, topic);
+            }
+            VitisMsg::PubAck { event } => {
+                self.pending_pubs.remove(&event);
+            }
+            VitisMsg::RetryPublish {
+                event,
+                topic,
+                attempt,
+            } => {
+                self.on_retry_publish(ctx, event, topic, attempt);
             }
         }
     }

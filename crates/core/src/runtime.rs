@@ -35,6 +35,7 @@ use vitis_overlay::id::Id;
 use vitis_overlay::rt::HybridRt;
 use vitis_sim::engine::{Engine, EngineConfig};
 use vitis_sim::event::NodeIdx;
+use vitis_sim::fault::{FaultDriver, FaultedNetwork};
 use vitis_sim::network::DynNetworkModel;
 use vitis_sim::prelude::StopReason;
 use vitis_sim::protocol::Protocol;
@@ -170,6 +171,10 @@ pub struct SystemRuntime<P: PubSubProtocol> {
     pub(crate) monitor: Monitor,
     pub(crate) workload: Workload,
     pub(crate) protocol: P,
+    /// Applies the plan's crash/freeze episodes at their exact timestamps
+    /// whenever the runtime advances the engine. Link-level episodes
+    /// (partition, loss, latency) live inside the network model instead.
+    fault_driver: FaultDriver,
     boot_rng: SmallRng,
     bootstrap_contacts: usize,
 }
@@ -192,13 +197,21 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
             params.grace,
             params.seed,
         );
+        let network: DynNetworkModel = if params.faults.is_empty() {
+            params.network.build()
+        } else {
+            Box::new(FaultedNetwork::new(
+                params.network.build(),
+                params.faults.clone(),
+            ))
+        };
         let engine = Engine::with_network(
             EngineConfig {
                 seed: params.seed,
                 round_period: params.round_period,
                 desynchronize_rounds: true,
             },
-            params.network.build(),
+            network,
         );
         let boot_rng = stream_rng(params.seed, domain::WORKLOAD, P::BOOT_SALT);
         let mut sys = SystemRuntime {
@@ -206,6 +219,7 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
             monitor,
             workload,
             protocol,
+            fault_driver: FaultDriver::new(&params.faults),
             boot_rng,
             bootstrap_contacts: params.bootstrap_contacts,
         };
@@ -371,13 +385,31 @@ pub fn hybrid_rt_probe<P: PubSubProtocol>(
     )
 }
 
+impl<P: PubSubProtocol> SystemRuntime<P> {
+    /// Advance to `target`, applying scheduled crash/freeze fault actions
+    /// at their exact timestamps on the way. With an empty plan this is
+    /// exactly `engine.run_until(target)`.
+    fn advance_to(&mut self, target: SimTime) {
+        while let Some(t) = self.fault_driver.next_time() {
+            if t > target {
+                break;
+            }
+            self.engine.run_until(t);
+            self.fault_driver.apply_due(&mut self.engine);
+        }
+        self.engine.run_until(target);
+    }
+}
+
 impl<P: PubSubProtocol> PubSub for SystemRuntime<P> {
     fn run_rounds(&mut self, n: u64) {
-        self.engine.run_rounds(n);
+        let target = self.engine.now() + Duration(self.engine.round_period().ticks() * n);
+        self.advance_to(target);
     }
 
     fn run_ticks(&mut self, ticks: u64) {
-        self.engine.run_for(Duration(ticks));
+        let target = self.engine.now() + Duration(ticks);
+        self.advance_to(target);
     }
 
     fn publish(&mut self, topic: TopicId) -> Option<EventId> {

@@ -21,6 +21,7 @@ use vitis_overlay::entry::Entry;
 use vitis_overlay::graph::Graph;
 use vitis_overlay::id::Id;
 use vitis_sim::event::NodeIdx;
+use vitis_sim::fault::FaultPlan;
 use vitis_sim::rng::{domain, stream_rng};
 use vitis_sim::time::Duration;
 
@@ -111,6 +112,10 @@ pub struct SystemParams {
     pub grace: Duration,
     /// The network model (latency/loss) messages travel over.
     pub network: NetworkSpec,
+    /// Scheduled fault episodes applied on top of the network model and,
+    /// for crash/freeze episodes, to the engine's node population. The
+    /// empty plan (default) is bit-identical to a fault-free run.
+    pub faults: FaultPlan,
 }
 
 impl SystemParams {
@@ -133,6 +138,7 @@ impl SystemParams {
             bootstrap_contacts: 5,
             grace: Duration(0),
             network: NetworkSpec::default(),
+            faults: FaultPlan::empty(),
         }
     }
 }
@@ -165,6 +171,15 @@ impl VitisProtocol {
         let engine = rt.engine();
         if !engine.is_alive(miss.subscriber) {
             return LossReason::SubscriberChurned;
+        }
+        if engine
+            .network_event_drops()
+            .iter()
+            .any(|&(e, s)| e == miss.event.0 && s == miss.subscriber.0)
+        {
+            // A copy addressed to this subscriber died in transit (lossy
+            // link, partition or freeze) and no later copy made it.
+            return LossReason::Network;
         }
         let Some(comp) = comps.iter().find(|c| c.contains(&miss.subscriber.0)) else {
             // Alive but absent from every component: resubscribed after

@@ -15,6 +15,7 @@
 //! | [`fig12`] | Fig. 12(a,b,c) — churn (Skype-like trace) |
 //! | [`ablations`] | A1 gateway election, A2 utility ranking, A3 sw links |
 //! | [`clusters`] | supplementary cluster-structure diagnostic (Figs. 1–2) |
+//! | [`resilience`] | fault-episode severity sweep (hit ratio + reconvergence) |
 //!
 //! Sweep points are embarrassingly parallel; each builds its own
 //! single-threaded simulation, and Rayon fans the points out across cores.
@@ -38,6 +39,7 @@ pub mod fig7;
 pub mod fig8_9;
 pub mod obs;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod scale;
 

@@ -26,6 +26,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("analyze") {
         return run_analyze(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("resilience") {
+        return run_resilience(&args[1..]);
+    }
     let mut figures: Vec<String> = Vec::new();
     let mut nodes: Option<usize> = None;
     let mut seed: u64 = 42;
@@ -163,6 +166,61 @@ fn write_jsonl(path: &str, lines: Vec<String>) -> std::io::Result<()> {
     w.flush()
 }
 
+/// The `resilience` subcommand: sweep partition-episode severity across
+/// the three systems and print the hit-ratio and reconvergence curves.
+/// Fully deterministic for a fixed `--nodes`/`--seed` pair.
+fn run_resilience(args: &[String]) -> ExitCode {
+    let mut nodes: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut preset: Option<&str> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => nodes = Some(n),
+                None => return usage("--nodes needs an integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p.clone()),
+                None => return usage("--metrics-out needs a file path"),
+            },
+            "--paper" => preset = Some("paper"),
+            "--quick" => preset = Some("quick"),
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    Obs::global().enable(metrics_out.is_some(), false);
+    let mut scale = match preset {
+        Some("paper") => Scale::paper(),
+        Some("quick") => Scale::quick(),
+        _ => Scale::default_run(),
+    };
+    if let Some(n) = nodes {
+        scale = Scale::proportional(n, seed);
+    }
+    scale.seed = seed;
+    println!(
+        "# Vitis resilience sweep — scale: {} nodes, {} topics, {} subs/node, seed {}\n",
+        scale.nodes, scale.topics, scale.subs_per_node, scale.seed
+    );
+    let (hit, rec) = vitis_experiments::resilience::run(&scale);
+    print!("{}\n{}\n", hit.render(), rec.render());
+    if let Some(path) = &metrics_out {
+        if let Err(e) = write_jsonl(path, Obs::global().take_metrics()) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote metrics records to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `analyze` subcommand: offline delivery forensics over a
 /// `--trace-out` dump (report to stdout, optional Graphviz export).
 fn run_analyze(args: &[String]) -> ExitCode {
@@ -209,7 +267,10 @@ fn usage(err: &str) -> ExitCode {
          \t(schema: docs/METRICS.md)\n\
          \n\
          \tvitis-experiments analyze TRACE.jsonl [--dot FILE.dot]\n\
-         \t(delivery forensics: per-event trees, hop/latency percentiles, loss attribution)"
+         \t(delivery forensics: per-event trees, hop/latency percentiles, loss attribution)\n\
+         \n\
+         \tvitis-experiments resilience [--nodes N] [--seed S] [--quick | --paper] [--metrics-out FILE.jsonl]\n\
+         \t(partition-severity sweep: hit ratio during the episode + reconvergence time after heal)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

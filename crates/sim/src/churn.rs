@@ -35,9 +35,48 @@ pub struct ChurnEvent {
 
 /// A validated, time-sorted churn trace.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(from = "RawChurnTrace")]
 pub struct ChurnTrace {
     events: Vec<ChurnEvent>,
     num_logical: u32,
+    /// `prefix_online[i]` = nodes online after applying `events[..i]`.
+    /// Derived, not serialized; rebuilt on deserialization.
+    #[serde(skip)]
+    prefix_online: Vec<u32>,
+}
+
+/// Serialized form of [`ChurnTrace`] (the derived cache is rebuilt on load,
+/// keeping the on-disk format identical to earlier versions).
+#[derive(Deserialize)]
+struct RawChurnTrace {
+    events: Vec<ChurnEvent>,
+    num_logical: u32,
+}
+
+impl From<RawChurnTrace> for ChurnTrace {
+    fn from(raw: RawChurnTrace) -> Self {
+        ChurnTrace {
+            prefix_online: prefix_online_counts(&raw.events),
+            events: raw.events,
+            num_logical: raw.num_logical,
+        }
+    }
+}
+
+/// Running online population after each event prefix. Valid traces strictly
+/// alternate join/leave per node, so each event is exactly ±1.
+fn prefix_online_counts(events: &[ChurnEvent]) -> Vec<u32> {
+    let mut counts = Vec::with_capacity(events.len() + 1);
+    let mut online = 0u32;
+    counts.push(online);
+    for e in events {
+        match e.kind {
+            ChurnKind::Join => online += 1,
+            ChurnKind::Leave => online = online.saturating_sub(1),
+        }
+        counts.push(online);
+    }
+    counts
 }
 
 /// Errors detected while validating a churn trace.
@@ -77,6 +116,7 @@ impl ChurnTrace {
             }
         }
         Ok(ChurnTrace {
+            prefix_online: prefix_online_counts(&events),
             events,
             num_logical,
         })
@@ -98,15 +138,13 @@ impl ChurnTrace {
     }
 
     /// Number of nodes online at time `t` (after applying all events ≤ `t`).
+    ///
+    /// `O(log n)`: a binary search over the time-sorted events into a
+    /// precomputed prefix-population table, so per-round sampling over large
+    /// Skype traces stays linear overall instead of quadratic.
     pub fn online_at(&self, t: SimTime) -> usize {
-        let mut online = vec![false; self.num_logical as usize];
-        for e in &self.events {
-            if e.time > t {
-                break;
-            }
-            online[e.node as usize] = e.kind == ChurnKind::Join;
-        }
-        online.iter().filter(|&&b| b).count()
+        let idx = self.events.partition_point(|e| e.time <= t);
+        self.prefix_online.get(idx).copied().unwrap_or(0) as usize
     }
 }
 

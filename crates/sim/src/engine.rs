@@ -52,6 +52,10 @@ struct Slot<P: Protocol> {
     sent: u64,
     /// Messages delivered to this node.
     received: u64,
+    /// Frozen: alive but silent (fault injection). A frozen node executes
+    /// no rounds and receives nothing; its pending ticks keep rescheduling
+    /// so it resumes when thawed.
+    frozen: bool,
 }
 
 enum Ev<M> {
@@ -77,6 +81,10 @@ pub struct EngineStats {
     pub messages_delivered: u64,
     /// Messages that arrived at a slot with no alive node.
     pub messages_to_dead: u64,
+    /// Messages the network model dropped in transit (loss, partitions).
+    pub messages_lost: u64,
+    /// Messages suppressed because the destination was frozen.
+    pub messages_suppressed: u64,
     /// Round ticks executed.
     pub rounds_executed: u64,
 }
@@ -94,6 +102,10 @@ pub struct Engine<P: Protocol, N: NetworkModel = ConstantLatency> {
     effects_buf: Vec<Effect<P::Msg>>,
     ledger: TrafficLedger,
     trace: Option<TraceHandle>,
+    /// `(event id, destination slot)` of event-bearing messages the network
+    /// dropped or freeze suppressed since the last traffic-window reset
+    /// (see [`Protocol::event_of`]). Feeds network-loss attribution.
+    net_drops: Vec<(u64, u32)>,
 }
 
 impl<P: Protocol> Engine<P, ConstantLatency> {
@@ -118,6 +130,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
             effects_buf: Vec::new(),
             ledger: TrafficLedger::new(),
             trace: None,
+            net_drops: Vec::new(),
         }
     }
 
@@ -150,9 +163,19 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
     }
 
     /// Zero the per-kind traffic counters (start of a measurement
-    /// window). Aggregate [`EngineStats`] are unaffected.
+    /// window). Aggregate [`EngineStats`] are unaffected. Also clears the
+    /// per-window network-drop record.
     pub fn reset_kind_traffic(&mut self) {
         self.ledger.reset();
+        self.net_drops.clear();
+    }
+
+    /// `(event id, destination slot)` pairs of event-bearing messages lost
+    /// to the network (or freeze suppression) since the last window reset.
+    /// Ordered by drop time; a pair may repeat if several copies addressed
+    /// to the same node were dropped.
+    pub fn network_event_drops(&self) -> &[(u64, u32)] {
+        &self.net_drops
     }
 
     #[inline]
@@ -295,6 +318,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
             joined_at: self.now,
             sent: 0,
             received: 0,
+            frozen: false,
         });
         self.trace_record(TraceEvent::Join {
             now: self.now.0,
@@ -316,6 +340,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
         slot.rng = rng::node_rng(self.cfg.seed, idx.0, slot.incarnation);
         slot.proto = Some(proto);
         slot.joined_at = self.now;
+        slot.frozen = false;
         self.trace_record(TraceEvent::Join {
             now: self.now.0,
             node: idx.0,
@@ -339,6 +364,27 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                 incarnation: inc,
             },
         );
+    }
+
+    /// Freeze or thaw the node in `idx` (fault injection: alive but
+    /// silent). While frozen the node executes no rounds and receives no
+    /// messages — inbound deliveries are suppressed and counted, and its
+    /// round ticks keep rescheduling so it resumes where it left off when
+    /// thawed. No-op on dead or out-of-range slots (the flag clears on
+    /// rejoin anyway).
+    pub fn set_frozen(&mut self, idx: NodeIdx, frozen: bool) {
+        if let Some(slot) = self.slots.get_mut(idx.index()) {
+            if slot.proto.is_some() {
+                slot.frozen = frozen;
+            }
+        }
+    }
+
+    /// Whether the node in `idx` is alive and currently frozen.
+    pub fn is_frozen(&self, idx: NodeIdx) -> bool {
+        self.slots
+            .get(idx.index())
+            .is_some_and(|s| s.proto.is_some() && s.frozen)
     }
 
     /// Stop the node in `idx`. With [`StopReason::Leave`] the protocol's
@@ -407,7 +453,12 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                     .slots
                     .get(to.index())
                     .is_some_and(|s| s.proto.is_some());
-                if alive {
+                if alive && self.slots[to.index()].frozen {
+                    // Frozen destination: the message is lost as if the
+                    // node's link went dark (alive but silent).
+                    self.stats.messages_suppressed += 1;
+                    self.record_net_drop(from, to, &msg);
+                } else if alive {
                     self.slots[to.index()].received += 1;
                     self.stats.messages_delivered += 1;
                     let tag = P::classify(&msg);
@@ -430,8 +481,12 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                     .get(node.index())
                     .is_some_and(|s| s.proto.is_some() && s.incarnation == incarnation);
                 if alive {
-                    self.stats.rounds_executed += 1;
-                    self.dispatch(node, DispatchKind::Round);
+                    if !self.slots[node.index()].frozen {
+                        self.stats.rounds_executed += 1;
+                        self.dispatch(node, DispatchKind::Round);
+                    }
+                    // Frozen nodes skip the round but keep the tick chain
+                    // alive so they resume when thawed.
                     self.queue.push(
                         self.now + self.cfg.round_period,
                         Ev::RoundTick { node, incarnation },
@@ -439,6 +494,24 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                 }
             }
         }
+    }
+
+    /// Account for a message lost in transit (network drop or freeze
+    /// suppression): remember its event id for loss attribution and emit a
+    /// `net_drop` trace record.
+    fn record_net_drop(&mut self, from: NodeIdx, to: NodeIdx, msg: &P::Msg) {
+        let event = P::event_of(msg);
+        if let Some(ev) = event {
+            self.net_drops.push((ev, to.0));
+        }
+        let tag = P::classify(msg);
+        self.trace_message(|| TraceEvent::NetDrop {
+            now: self.now.0,
+            from: from.0,
+            to: to.0,
+            kind: std::borrow::Cow::Borrowed(tag.kind),
+            event,
+        });
     }
 
     fn dispatch(&mut self, idx: NodeIdx, kind: DispatchKind<P::Msg>) {
@@ -481,7 +554,9 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                             kind: std::borrow::Cow::Borrowed(tag.kind),
                             class: tag.class,
                         });
-                        if let Some(lat) = self.network.latency(idx, to, &mut self.engine_rng) {
+                        if let Some(lat) =
+                            self.network.latency(self.now, idx, to, &mut self.engine_rng)
+                        {
                             self.queue.push(
                                 self.now + lat,
                                 Ev::Deliver {
@@ -490,6 +565,9 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                                     msg,
                                 },
                             );
+                        } else {
+                            self.stats.messages_lost += 1;
+                            self.record_net_drop(idx, to, &msg);
                         }
                     }
                     Effect::TimerMsg { delay, msg } => {

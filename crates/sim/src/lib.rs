@@ -33,6 +33,7 @@
 pub mod churn;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod protocol;
@@ -46,6 +47,9 @@ pub mod prelude {
     pub use crate::churn::{ChurnDriver, ChurnEvent, ChurnKind, ChurnTrace};
     pub use crate::engine::{Engine, EngineConfig, EngineStats};
     pub use crate::event::NodeIdx;
+    pub use crate::fault::{
+        FaultDriver, FaultEpisode, FaultPlan, FaultPlanError, FaultedNetwork, LossScope, Span,
+    };
     pub use crate::metrics::{Counter, Histogram, Summary, TimeSeries};
     pub use crate::network::{ConstantLatency, Lossy, NetworkModel, UniformLatency};
     pub use crate::protocol::{Context, Protocol, StopReason};

@@ -2,19 +2,29 @@
 //!
 //! The paper's evaluation counts hops rather than wall-clock delay, so the
 //! default model is a constant one-tick latency. Jittered and lossy models
-//! are provided for robustness experiments and tests.
+//! are provided for robustness experiments and tests, and
+//! [`crate::fault::FaultedNetwork`] wraps any model with a time-driven
+//! fault schedule — which is why every model receives the current
+//! [`SimTime`] per call.
 
 use crate::event::NodeIdx;
-use crate::time::Duration;
+use crate::time::{Duration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// Decides, per message, how long delivery takes and whether the message is
-/// dropped. Implementations must be deterministic given the RNG stream.
+/// dropped. Implementations must be deterministic given the RNG stream and
+/// the simulated clock.
 pub trait NetworkModel {
-    /// Latency for a message from `from` to `to`, or `None` if the message is
-    /// lost in transit.
-    fn latency(&self, from: NodeIdx, to: NodeIdx, rng: &mut SmallRng) -> Option<Duration>;
+    /// Latency for a message sent at `now` from `from` to `to`, or `None`
+    /// if the message is lost in transit.
+    fn latency(
+        &self,
+        now: SimTime,
+        from: NodeIdx,
+        to: NodeIdx,
+        rng: &mut SmallRng,
+    ) -> Option<Duration>;
 }
 
 /// Every message takes exactly `latency` ticks; nothing is lost.
@@ -29,7 +39,7 @@ impl Default for ConstantLatency {
 
 impl NetworkModel for ConstantLatency {
     #[inline]
-    fn latency(&self, _: NodeIdx, _: NodeIdx, _: &mut SmallRng) -> Option<Duration> {
+    fn latency(&self, _: SimTime, _: NodeIdx, _: NodeIdx, _: &mut SmallRng) -> Option<Duration> {
         Some(self.0)
     }
 }
@@ -45,7 +55,13 @@ pub struct UniformLatency {
 
 impl NetworkModel for UniformLatency {
     #[inline]
-    fn latency(&self, _: NodeIdx, _: NodeIdx, rng: &mut SmallRng) -> Option<Duration> {
+    fn latency(
+        &self,
+        _: SimTime,
+        _: NodeIdx,
+        _: NodeIdx,
+        rng: &mut SmallRng,
+    ) -> Option<Duration> {
         debug_assert!(self.min <= self.max);
         Some(Duration(rng.gen_range(self.min..=self.max)))
     }
@@ -63,11 +79,17 @@ pub struct Lossy<M> {
 
 impl<M: NetworkModel> NetworkModel for Lossy<M> {
     #[inline]
-    fn latency(&self, from: NodeIdx, to: NodeIdx, rng: &mut SmallRng) -> Option<Duration> {
+    fn latency(
+        &self,
+        now: SimTime,
+        from: NodeIdx,
+        to: NodeIdx,
+        rng: &mut SmallRng,
+    ) -> Option<Duration> {
         if rng.gen::<f64>() < self.loss {
             None
         } else {
-            self.inner.latency(from, to, rng)
+            self.inner.latency(now, from, to, rng)
         }
     }
 }
@@ -78,8 +100,14 @@ pub type DynNetworkModel = Box<dyn NetworkModel>;
 
 impl NetworkModel for DynNetworkModel {
     #[inline]
-    fn latency(&self, from: NodeIdx, to: NodeIdx, rng: &mut SmallRng) -> Option<Duration> {
-        (**self).latency(from, to, rng)
+    fn latency(
+        &self,
+        now: SimTime,
+        from: NodeIdx,
+        to: NodeIdx,
+        rng: &mut SmallRng,
+    ) -> Option<Duration> {
+        (**self).latency(now, from, to, rng)
     }
 }
 
@@ -92,12 +120,17 @@ mod tests {
         SmallRng::seed_from_u64(7)
     }
 
+    const T0: SimTime = SimTime(0);
+
     #[test]
     fn constant_latency_is_constant() {
         let m = ConstantLatency(Duration(3));
         let mut r = rng();
         for _ in 0..10 {
-            assert_eq!(m.latency(NodeIdx(0), NodeIdx(1), &mut r), Some(Duration(3)));
+            assert_eq!(
+                m.latency(T0, NodeIdx(0), NodeIdx(1), &mut r),
+                Some(Duration(3))
+            );
         }
     }
 
@@ -106,7 +139,7 @@ mod tests {
         let m = UniformLatency { min: 2, max: 6 };
         let mut r = rng();
         for _ in 0..1000 {
-            let d = m.latency(NodeIdx(0), NodeIdx(1), &mut r).unwrap();
+            let d = m.latency(T0, NodeIdx(0), NodeIdx(1), &mut r).unwrap();
             assert!((2..=6).contains(&d.ticks()));
         }
     }
@@ -120,7 +153,7 @@ mod tests {
         let mut r = rng();
         let n = 10_000;
         let dropped = (0..n)
-            .filter(|_| m.latency(NodeIdx(0), NodeIdx(1), &mut r).is_none())
+            .filter(|_| m.latency(T0, NodeIdx(0), NodeIdx(1), &mut r).is_none())
             .count();
         let rate = dropped as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
@@ -134,7 +167,7 @@ mod tests {
         };
         let mut r = rng();
         for _ in 0..100 {
-            assert!(m.latency(NodeIdx(0), NodeIdx(1), &mut r).is_some());
+            assert!(m.latency(T0, NodeIdx(0), NodeIdx(1), &mut r).is_some());
         }
     }
 
@@ -142,6 +175,9 @@ mod tests {
     fn dyn_model_dispatches() {
         let m: DynNetworkModel = Box::new(ConstantLatency(Duration(9)));
         let mut r = rng();
-        assert_eq!(m.latency(NodeIdx(0), NodeIdx(1), &mut r), Some(Duration(9)));
+        assert_eq!(
+            m.latency(T0, NodeIdx(0), NodeIdx(1), &mut r),
+            Some(Duration(9))
+        );
     }
 }

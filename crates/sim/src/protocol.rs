@@ -57,6 +57,16 @@ pub trait Protocol: Sized {
     fn classify(_msg: &Self::Msg) -> MsgTag {
         MsgTag::control("msg")
     }
+
+    /// The published-event id a data-plane message carries, if any. Like
+    /// [`Protocol::classify`], an associated function used by the engine —
+    /// here to attribute messages lost in transit (network drops, freeze
+    /// suppression) to the event they carried, feeding `net_drop` trace
+    /// records and network-loss attribution. The default says "no event";
+    /// protocols whose messages carry event notifications should override.
+    fn event_of(_msg: &Self::Msg) -> Option<u64> {
+        None
+    }
 }
 
 /// An output requested by a protocol handler, applied by the engine after the

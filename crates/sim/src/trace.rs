@@ -321,6 +321,25 @@ pub enum TraceEvent {
         /// carried.
         path: String,
     },
+    /// A message was lost in transit: the network model dropped it
+    /// (loss, partition) or freeze suppression swallowed it. Distinct from
+    /// [`TraceEvent::DropEvent`], which records a *missed delivery* after
+    /// attribution — one lost copy does not imply a miss (another copy may
+    /// still arrive), so these are never counted against the
+    /// expected-minus-delivered balance.
+    NetDrop {
+        /// Simulated time in ticks (send time).
+        now: u64,
+        /// Sender slot.
+        from: u32,
+        /// Destination slot.
+        to: u32,
+        /// Protocol message kind.
+        kind: Cow<'static, str>,
+        /// The published event the message carried, if any (see
+        /// [`crate::protocol::Protocol::event_of`]).
+        event: Option<u64>,
+    },
     /// Forensics: a missed `(event, subscriber)` pair, classified at
     /// window close by the loss-attribution pass.
     DropEvent {
@@ -620,6 +639,22 @@ pub fn write_event(out: &mut String, ev: &TraceEvent) {
                 "{{\"type\":\"deliver_event\",\"now\":{now},\"event\":{event},\"node\":{node},\"hops\":{hops},\"latency\":{latency},\"path\":"
             );
             push_json_str(out, path);
+            out.push('}');
+        }
+        TraceEvent::NetDrop {
+            now,
+            from,
+            to,
+            kind,
+            event,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"net_drop\",\"now\":{now},\"from\":{from},\"to\":{to},\"kind\":"
+            );
+            push_json_str(out, kind);
+            out.push_str(",\"event\":");
+            push_opt_u64(out, *event);
             out.push('}');
         }
         TraceEvent::DropEvent {
@@ -964,6 +999,13 @@ fn event_from_fields(fields: &[(String, JsonValue)]) -> Result<TraceEvent, Parse
             latency: req_u64(fields, "latency")?,
             path: req_str(fields, "path")?.to_string(),
         }),
+        "net_drop" => Ok(TraceEvent::NetDrop {
+            now: req_u64(fields, "now")?,
+            from: req_u32(fields, "from")?,
+            to: req_u32(fields, "to")?,
+            kind: Cow::Owned(req_str(fields, "kind")?.to_string()),
+            event: req_opt_u64(fields, "event")?,
+        }),
         "drop_event" => Ok(TraceEvent::DropEvent {
             now: req_u64(fields, "now")?,
             event: req_u64(fields, "event")?,
@@ -1090,6 +1132,20 @@ mod tests {
                 hops: 2,
                 latency: 30,
                 path: "11>5>29".to_string(),
+            },
+            TraceEvent::NetDrop {
+                now: 305,
+                from: 11,
+                to: 88,
+                kind: Cow::Borrowed("notification"),
+                event: Some(7),
+            },
+            TraceEvent::NetDrop {
+                now: 306,
+                from: 2,
+                to: 3,
+                kind: Cow::Borrowed("ps_req"),
+                event: None,
             },
             TraceEvent::DropEvent {
                 now: 900,

@@ -26,7 +26,9 @@ use vitis::monitor::PubSubStats;
 use vitis::system::{PubSub, SystemParams, VitisSystem};
 use vitis::topic::{TopicId, TopicSet};
 use vitis_baselines::{OptSystem, RvrSystem};
+use vitis_sim::fault::{FaultEpisode, FaultPlan, LossScope, Span};
 use vitis_sim::rng::{domain, stream_rng};
+use vitis_sim::time::SimTime;
 use vitis_sim::trace::Trace;
 
 const NODES: usize = 100;
@@ -190,4 +192,46 @@ fn rvr_fixed_seed_run_is_bit_identical() {
 fn opt_fixed_seed_run_is_bit_identical() {
     let mut sys = OptSystem::new(golden_params());
     check_golden("opt", &run_scenario(&mut sys));
+}
+
+/// The faulted counterpart: the same scenario under a fixed [`FaultPlan`]
+/// exercising every episode kind, with the Vitis hardening knobs on
+/// (publisher retries, bounded TTL, gateway failover). Pins the entire
+/// fault-injection path — the time-aware network wrapper, the engine-side
+/// fault driver, net-drop tracing, and `LossReason::Network` attribution —
+/// to a bit-exact snapshot.
+#[test]
+fn vitis_faulted_fixed_seed_run_is_bit_identical() {
+    let mut p = golden_params();
+    let period = p.round_period.ticks();
+    p.faults = FaultPlan::new(vec![
+        FaultEpisode::LatencySpike {
+            factor: 4.0,
+            span: Span::new(8 * period, 12 * period),
+        },
+        FaultEpisode::LossBurst {
+            prob: 0.3,
+            span: Span::new(20 * period, 23 * period),
+            scope: LossScope::All,
+        },
+        FaultEpisode::Partition {
+            groups: vec![(50..70).collect()],
+            span: Span::new(21 * period, 24 * period),
+        },
+        FaultEpisode::Freeze {
+            nodes: vec![30, 31, 32],
+            span: Span::new(22 * period, 25 * period),
+        },
+        FaultEpisode::CorrelatedCrash {
+            nodes: vec![40, 41],
+            at: SimTime(22 * period),
+        },
+    ])
+    .expect("golden fault plan is valid");
+    p.cfg.publish_retries = 2;
+    p.cfg.publish_ack_timeout = 64;
+    p.cfg.max_event_hops = 32;
+    p.cfg.gateway_failover = true;
+    let mut sys = VitisSystem::new(p);
+    check_golden("vitis_faulted", &run_scenario(&mut sys));
 }

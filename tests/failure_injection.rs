@@ -2,7 +2,10 @@
 //! on (rendezvous, gateways) and verify the soft state heals; plus gossip
 //! cost bounds.
 
+use vitis::monitor::LossReason;
 use vitis::prelude::*;
+use vitis::system::NetworkSpec;
+use vitis_baselines::{OptSystem, RvrSystem};
 use vitis_sim::event::NodeIdx;
 use vitis_workloads::{Correlation, SubscriptionModel};
 
@@ -124,6 +127,65 @@ fn gossip_message_rate_is_bounded() {
         "control message rate {per_node_per_round:.1}/node/round"
     );
     assert!(per_node_per_round > 5.0, "suspiciously quiet gossip");
+}
+
+/// In-transit drops of a lossy network surface as `LossReason::Network`
+/// in loss attribution, for all three systems, and the per-reason counts
+/// still account for every missed delivery exactly (the invariant the
+/// `analyze` exact-sum check relies on).
+#[test]
+fn lossy_network_misses_attribute_to_network() {
+    let model = SubscriptionModel {
+        num_nodes: 150,
+        num_topics: 20,
+        num_buckets: 4,
+        subs_per_node: 5,
+        correlation: Correlation::Low,
+    };
+    let subs: Vec<TopicSet> = model
+        .generate(3)
+        .into_iter()
+        .map(TopicSet::from_iter)
+        .collect();
+    let mut params = SystemParams::new(subs, model.num_topics);
+    params.seed = 3;
+    params.network = NetworkSpec::LossyConstant(1, 0.25);
+    let mut systems: Vec<(&str, Box<dyn PubSub>)> = vec![
+        ("vitis", Box::new(VitisSystem::new(params.clone()))),
+        ("rvr", Box::new(RvrSystem::new(params.clone()))),
+        ("opt", Box::new(OptSystem::new(params))),
+    ];
+    for (name, sys) in &mut systems {
+        sys.run_rounds(40);
+        sys.reset_metrics();
+        for t in 0..model.num_topics as u32 {
+            sys.publish(TopicId(t));
+        }
+        sys.run_rounds(3);
+        let s = sys.stats();
+        let report = sys.loss_report();
+        assert!(s.expected > 0, "{name}: no expected deliveries");
+        assert!(
+            s.delivered < s.expected,
+            "{name}: a 25% lossy network must cause misses"
+        );
+        let network = report
+            .by_reason
+            .iter()
+            .find(|(r, _)| *r == LossReason::Network)
+            .map_or(0, |(_, c)| *c);
+        assert!(
+            network > 0,
+            "{name}: no miss attributed to the network ({:?})",
+            report.by_reason
+        );
+        let total: u64 = report.by_reason.iter().map(|(_, c)| c).sum();
+        assert_eq!(
+            total,
+            report.expected - report.delivered,
+            "{name}: loss reasons must exactly cover the misses"
+        );
+    }
 }
 
 /// Half the network crashes at once and the survivors re-converge to a
