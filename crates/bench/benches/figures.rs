@@ -114,7 +114,8 @@ fn bench_fig12(c: &mut Criterion) {
     g.bench_function("vitis_short_trace", |b| {
         b.iter(|| {
             let mut sys = VitisSystem::new(synthetic_params(&sc, Correlation::Low));
-            run_system(&mut sys, &plan, &trace)
+            let ctx = vitis_experiments::obs::Obs::global().start("bench", "fig12");
+            run_system(&mut sys, &plan, &trace, &sc, ctx)
         })
     });
     g.finish();

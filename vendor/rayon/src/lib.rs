@@ -1,0 +1,138 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace uses exactly one shape: `.par_iter()` / `.into_par_iter()`
+//! followed by `.map(f).collect()`. This stub reproduces it on top of
+//! `std::thread::scope` with a dynamic work queue (atomic index), preserving
+//! input order in the collected output. Worker threads are capped at the
+//! machine's available parallelism.
+//!
+//! Determinism note: per-item work must itself be deterministic (it is — the
+//! figure sweeps seed every run explicitly); the stub only parallelizes,
+//! order of results is restored by index before collecting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// How many worker threads a parallel collect may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let f = &f;
+        let slots: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+        let next = AtomicUsize::new(0);
+        let done = Mutex::new(Vec::with_capacity(n));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().unwrap();
+                    let result = f(item);
+                    done.lock().unwrap().push((i, result));
+                });
+            }
+        });
+
+        let mut pairs = done.into_inner().unwrap();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+
+        let squared: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squared, (0u64..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = Vec::<u32>::new().par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! annotations (forward-looking schema markers — nothing serializes yet), so
+//! this stub re-exports no-op derives plus empty marker traits under the
+//! same names. The derive macro and the trait live in different namespaces,
+//! exactly like real serde, so `use serde::{Serialize, Deserialize}` imports
+//! both.
+
+pub use serde_derive_stub::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no code calls
+//! serialization), so the derives expand to nothing. Declaring
+//! `attributes(serde)` keeps the `#[serde(...)]` helper attributes inert.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
