@@ -1,15 +1,19 @@
-//! Harness-free meso-benchmark used to record `BENCH_PR4.json`.
+//! Harness-free meso-benchmark (originally recorded `BENCH_PR4.json`).
 //!
 //! Mirrors the `gossip_round`, `dissemination` and `system_build` groups
 //! of `benches/gossip_round.rs` but times them with plain
 //! `std::time::Instant`, so it runs in environments where the criterion
-//! harness is unavailable and produces a compact JSON medians report:
+//! harness is unavailable. Emits median microseconds in the shared
+//! `vitis-bench-v1` BENCH schema (`vitis_experiments::benchfmt`) — the
+//! same format as `vitis-experiments scale` — so any two reports diff
+//! with the `bench-diff` binary:
 //!
 //! ```text
-//! cargo run -p vitis-bench --release --bin meso_timing
+//! cargo run -p vitis-bench --release --bin meso_timing [-- --out FILE]
 //! ```
 
 use std::time::Instant;
+use vitis_experiments::benchfmt::{self, BenchEntry};
 use vitis::system::{PubSub, SystemParams, VitisSystem};
 use vitis::topic::TopicSet;
 use vitis_baselines::{OptSystem, RvrSystem};
@@ -69,6 +73,24 @@ fn dissemination_bench(sys: &mut dyn PubSub, samples: usize) -> f64 {
 
 fn main() {
     const SAMPLES: usize = 15;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: meso_timing [--out FILE]   (unexpected argument: {other})");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut entries: Vec<(String, f64)> = Vec::new();
 
     for &n in &[250usize, 600] {
@@ -115,10 +137,19 @@ fn main() {
         median_us(SAMPLES, || drop(OptSystem::new(p.clone()))),
     ));
 
-    println!("{{");
-    for (i, (name, us)) in entries.iter().enumerate() {
-        let comma = if i + 1 == entries.len() { "" } else { "," };
-        println!("  \"{name}\": {us:.1}{comma}");
+    let bench: Vec<BenchEntry> = entries
+        .into_iter()
+        .map(|(name, us)| BenchEntry::new(name, (us * 10.0).round() / 10.0, "us"))
+        .collect();
+    let text = benchfmt::render(&bench);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} BENCH entries to {path}", bench.len());
+        }
+        None => print!("{text}"),
     }
-    println!("}}");
 }

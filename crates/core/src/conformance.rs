@@ -25,6 +25,7 @@ pub fn check_pubsub_conformance<P: PubSubProtocol>(
     check_loss_report_partitions_misses(sys, name, topics, churn_nodes);
     check_set_online_idempotent(sys, name, churn_nodes);
     check_agrees_with_engine(sys, name);
+    check_perf_surface(sys, name);
 }
 
 /// After `reset_metrics`, every counter of the stats snapshot is zero.
@@ -121,6 +122,37 @@ pub fn check_set_online_idempotent(sys: &mut impl PubSub, name: &str, churn_node
         "{name}: toggle storm must conserve the population"
     );
     sys.run_rounds(3);
+}
+
+/// The perf surface is live and structurally consistent: activations
+/// accumulate as the system runs, the queue high-water mark is nonzero
+/// once rounds are scheduled, and the footprint estimate tracks the
+/// alive population.
+pub fn check_perf_surface(sys: &mut impl PubSub, name: &str) {
+    let before = sys.perf_counters();
+    assert!(
+        before.activations_start as usize >= sys.alive_count(),
+        "{name}: every alive node was started at least once"
+    );
+    assert!(before.queue_hwm > 0, "{name}: round scheduling fills the queue");
+    sys.run_rounds(2);
+    let after = sys.perf_counters();
+    assert!(
+        after.activations_round > before.activations_round,
+        "{name}: running rounds accumulates round activations"
+    );
+    assert!(
+        after.total_activations() >= before.total_activations(),
+        "{name}: activation totals are monotone"
+    );
+    let full = sys.footprint_estimate();
+    assert!(full > 0, "{name}: footprint estimate covers live nodes");
+    sys.set_online(0, false);
+    assert!(
+        sys.footprint_estimate() < full,
+        "{name}: footprint estimate shrinks when a node leaves"
+    );
+    sys.set_online(0, true);
 }
 
 /// `alive_count` and `mean_degree` are views of engine state, not

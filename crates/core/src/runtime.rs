@@ -102,6 +102,18 @@ pub trait PubSub {
     /// staleness, subscriber clustering). All three systems fill what
     /// they can measure; structure-less fields stay `None`.
     fn health_probe(&self) -> HealthProbe;
+
+    /// Deterministic engine-side perf counters (queue high-water mark,
+    /// per-phase node activations). Always available; independent of the
+    /// wall-clock span profiler.
+    fn perf_counters(&self) -> vitis_sim::perf::EngineCounters;
+
+    /// Structural estimate of the live nodes' memory footprint in bytes:
+    /// per-node state size plus a protocol-specific heap estimate (see
+    /// [`PubSubProtocol::node_heap_bytes`]). An estimate for cross-system
+    /// comparison, not an allocator measurement — pair with the
+    /// `perf-alloc` feature for the latter.
+    fn footprint_estimate(&self) -> u64;
 }
 
 /// What a publish/subscribe design must supply to run on
@@ -157,6 +169,14 @@ pub trait PubSubProtocol: Sized {
     /// keep the default `(None, None)`.
     fn structure_probe(_rt: &SystemRuntime<Self>) -> (Option<f64>, Option<f64>) {
         (None, None)
+    }
+
+    /// Estimated heap bytes held by one node beyond `size_of::<Node>()`.
+    /// The default charges a flat per-link cost covering a routing-table
+    /// entry (id, address, subscription digest, age); override when a
+    /// design keeps materially more per-node heap state.
+    fn node_heap_bytes(node: &Self::Node) -> u64 {
+        Self::degree(node) as u64 * 96
     }
 }
 
@@ -317,6 +337,7 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
     /// Publish from an explicit node (must be online). Returns the event
     /// id.
     pub fn publish_from(&mut self, publisher: u32, topic: TopicId) -> Option<EventId> {
+        let _span = vitis_sim::perf::span("system.publish");
         if !self.engine.is_alive(NodeIdx(publisher)) {
             return None;
         }
@@ -403,6 +424,7 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
 
 impl<P: PubSubProtocol> PubSub for SystemRuntime<P> {
     fn run_rounds(&mut self, n: u64) {
+        let _span = vitis_sim::perf::span("system.run_rounds");
         let target = self.engine.now() + Duration(self.engine.round_period().ticks() * n);
         self.advance_to(target);
     }
@@ -488,6 +510,18 @@ impl<P: PubSubProtocol> PubSub for SystemRuntime<P> {
 
     fn loss_report(&self) -> LossReport {
         P::loss_report(self)
+    }
+
+    fn perf_counters(&self) -> vitis_sim::perf::EngineCounters {
+        self.engine.perf_counters()
+    }
+
+    fn footprint_estimate(&self) -> u64 {
+        let fixed = std::mem::size_of::<P::Node>() as u64;
+        self.engine
+            .alive_nodes()
+            .map(|(_, n)| fixed + P::node_heap_bytes(n))
+            .sum()
     }
 
     fn health_probe(&self) -> HealthProbe {

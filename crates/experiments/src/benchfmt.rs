@@ -1,0 +1,213 @@
+//! The shared BENCH file format (`vitis-bench-v1`).
+//!
+//! One schema for every wall-clock benchmark artifact in the repo: the
+//! `scale` subcommand's `BENCH_PR6.json`, the `meso_timing` binary's
+//! output, and anything CI wants to diff across commits. The file is a
+//! single valid JSON object, laid out one entry per line so it also
+//! greps and diffs like JSONL:
+//!
+//! ```text
+//! {"schema":"vitis-bench-v1","entries":[
+//! {"name":"scale/vitis/2000/measure_ms","value":812.4,"unit":"ms"},
+//! {"name":"scale/vitis/2000/deliveries_per_sec","value":151204.0,"unit":"per_sec"}
+//! ]}
+//! ```
+//!
+//! Units carry the comparison direction for [`crate::benchfmt`]'s
+//! consumers (`bench-diff`): time units (`ms`/`us`/`ns`) are
+//! lower-is-better, `per_sec` is higher-is-better, and everything else
+//! (`bytes`, `count`, `ratio`) is informational context that never gates.
+
+use vitis_sim::trace::{push_f64, push_json_str};
+
+/// The schema tag heading every BENCH file.
+pub const SCHEMA: &str = "vitis-bench-v1";
+
+/// One measured quantity: a slash-separated name, a value, and the unit
+/// that tells consumers how to compare it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Hierarchical metric name, e.g. `scale/vitis/2000/measure_ms`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit: `ms`, `us`, `ns`, `per_sec`, `bytes`, `count`, `ratio`.
+    pub unit: String,
+}
+
+impl BenchEntry {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: f64, unit: &str) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+}
+
+/// How `bench-diff` treats a unit when comparing two files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (time units): gate on increases.
+    LowerIsBetter,
+    /// Larger is better (throughput): gate on decreases.
+    HigherIsBetter,
+    /// Context only (bytes, counts, ratios): never gates.
+    Informational,
+}
+
+/// The comparison direction a unit implies.
+pub fn direction_of(unit: &str) -> Direction {
+    match unit {
+        "ms" | "us" | "ns" => Direction::LowerIsBetter,
+        "per_sec" => Direction::HigherIsBetter,
+        _ => Direction::Informational,
+    }
+}
+
+/// Render entries as a BENCH file (valid JSON, one entry per line).
+pub fn render(entries: &[BenchEntry]) -> String {
+    let mut o = String::with_capacity(64 + entries.len() * 64);
+    o.push_str("{\"schema\":\"");
+    o.push_str(SCHEMA);
+    o.push_str("\",\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        o.push_str("{\"name\":");
+        push_json_str(&mut o, &e.name);
+        o.push_str(",\"value\":");
+        push_f64(&mut o, e.value);
+        o.push_str(",\"unit\":");
+        push_json_str(&mut o, &e.unit);
+        o.push('}');
+        if i + 1 < entries.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("]}\n");
+    o
+}
+
+/// Parse a BENCH file produced by [`render`] (or hand-edited in the same
+/// one-entry-per-line layout). Returns a labelled error on schema
+/// mismatch or a malformed entry line.
+pub fn parse(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty BENCH file")?;
+    if !header.contains(&format!("\"schema\":\"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA:?} in header {header:?}"));
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "]}" {
+            continue;
+        }
+        entries.push(parse_entry(line)?);
+    }
+    Ok(entries)
+}
+
+fn parse_entry(line: &str) -> Result<BenchEntry, String> {
+    let name = field_str(line, "name").ok_or_else(|| format!("no \"name\" in {line:?}"))?;
+    let unit = field_str(line, "unit").ok_or_else(|| format!("no \"unit\" in {line:?}"))?;
+    let value = field_num(line, "value").ok_or_else(|| format!("no \"value\" in {line:?}"))?;
+    Ok(BenchEntry { name, value, unit })
+}
+
+/// Extract a string field from a flat JSON object line. Handles the
+/// escapes [`push_json_str`] emits (`\"`, `\\`, `\n`, `\t`, `\r`,
+/// `\u00XX`) — enough to round-trip our own renderer.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+/// Extract a numeric field from a flat JSON object line (`null` → NaN).
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or(rest.len());
+    let tok = rest[..end].trim();
+    if tok == "null" {
+        return Some(f64::NAN);
+    }
+    tok.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let entries = vec![
+            BenchEntry::new("scale/vitis/2000/measure_ms", 812.4, "ms"),
+            BenchEntry::new("scale/vitis/2000/deliveries_per_sec", 151204.0, "per_sec"),
+            BenchEntry::new("scale/vitis/2000/peak_bytes", 1.5e9, "bytes"),
+        ];
+        let text = render(&entries);
+        assert!(text.starts_with("{\"schema\":\"vitis-bench-v1\",\"entries\":[\n"));
+        assert!(text.ends_with("]}\n"));
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let text = render(&[]);
+        assert_eq!(parse(&text).unwrap(), Vec::<BenchEntry>::new());
+    }
+
+    #[test]
+    fn nan_renders_as_null_and_parses_back() {
+        let text = render(&[BenchEntry::new("x", f64::NAN, "ratio")]);
+        assert!(text.contains("\"value\":null"));
+        let back = parse(&text).unwrap();
+        assert!(back[0].value.is_nan());
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        assert!(parse("{\"schema\":\"other-v9\",\"entries\":[\n]}\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn units_imply_directions() {
+        assert_eq!(direction_of("ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("us"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("bytes"), Direction::Informational);
+        assert_eq!(direction_of("count"), Direction::Informational);
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let entries = vec![BenchEntry::new("weird \"name\"\nwith\tescapes", 1.0, "count")];
+        let text = render(&entries);
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+}

@@ -39,6 +39,7 @@ pub fn cluster_stats(scale: &Scale, corr: Correlation) -> ClusterStats {
     sys.run_rounds(scale.warmup_rounds);
     ctx.phase("warmup");
     ctx.sample(scale.warmup_rounds, &sys);
+    ctx.record_perf(sys.perf_counters(), sys.footprint_estimate());
     ctx.finish(scale, &sys.stats());
     let mut clusters = Summary::new();
     let mut largest = Summary::new();

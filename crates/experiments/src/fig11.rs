@@ -41,6 +41,7 @@ pub fn degree_stats(scale: &Scale) -> DegreeStats {
     ctx.phase("warmup");
     ctx.sample(scale.warmup_rounds, &sys);
     let stats = sys.stats();
+    ctx.record_perf(sys.perf_counters(), sys.footprint_estimate());
     ctx.finish(scale, &stats);
     let degrees = sys.degree_distribution();
     let n = degrees.len().max(1) as f64;

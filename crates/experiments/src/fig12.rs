@@ -133,6 +133,7 @@ pub fn run_system(
     }
     ctx.phase("trace");
     let stats = sys.stats();
+    ctx.record_perf(sys.perf_counters(), sys.footprint_estimate());
     ctx.finish(scale, &stats);
     samples
 }

@@ -27,6 +27,7 @@
 
 pub mod ablations;
 pub mod analyze;
+pub mod benchfmt;
 pub mod clusters;
 pub mod fig10;
 pub mod headline;
@@ -42,6 +43,7 @@ pub mod report;
 pub mod resilience;
 pub mod runner;
 pub mod scale;
+pub mod scalebench;
 
 pub use report::{Figure, Series};
 pub use scale::Scale;

@@ -3,23 +3,30 @@
 //! ```text
 //! vitis-experiments [FIGURES] [--nodes N] [--seed S] [--paper | --quick]
 //!                   [--metrics-out FILE] [--trace-out FILE]
-//!                   [--trace-capacity N]
+//!                   [--trace-capacity N] [--perf-out FILE]
 //! vitis-experiments analyze TRACE.jsonl [--dot FILE.dot]
+//! vitis-experiments scale [--max-nodes N] [--seed S] [--out BENCH.json]
+//!                   [--perf-out FILE] [--trace-out FILE]
 //!
 //! FIGURES: any of fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          ablations, or "all" (default)
 //! ```
 //!
-//! `--metrics-out` writes one JSONL record per measurement run (phase
+//! `--metrics-out` streams one JSONL record per measurement run (phase
 //! timers, final stats with the per-kind traffic split, per-round
-//! convergence samples); `--trace-out` writes the per-run event traces
-//! (round boundaries, churn, messages, health probes, and the delivery
-//! forensics records that `analyze` reads back). Both schemas are
+//! convergence samples, deterministic perf counters); `--trace-out`
+//! streams the per-run event traces (round boundaries, churn, messages,
+//! health probes, and the delivery forensics records that `analyze`
+//! reads back). Records hit disk as each run finishes, so an aborted
+//! sweep still leaves valid partial files. `--perf-out` enables the span
+//! profiler and writes its aggregate (plus memory accounting) as JSONL,
+//! with a flamegraph-compatible `FILE.folded` companion. All schemas are
 //! documented in `docs/METRICS.md`.
 
 use std::process::ExitCode;
 use vitis_experiments::obs::Obs;
 use vitis_experiments::{ablations, clusters, headline, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8_9, Scale};
+use vitis_sim::perf;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +36,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("resilience") {
         return run_resilience(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("scale") {
+        return run_scale(&args[1..]);
+    }
     let mut figures: Vec<String> = Vec::new();
     let mut nodes: Option<usize> = None;
     let mut seed: u64 = 42;
@@ -36,6 +46,7 @@ fn main() -> ExitCode {
     let mut preset: Option<&str> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut perf_out: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -60,6 +71,10 @@ fn main() -> ExitCode {
                 Some(p) => trace_out = Some(p.clone()),
                 None => return usage("--trace-out needs a file path"),
             },
+            "--perf-out" => match it.next() {
+                Some(p) => perf_out = Some(p.clone()),
+                None => return usage("--perf-out needs a file path"),
+            },
             "--trace-capacity" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => Obs::global().set_trace_capacity(n),
                 _ => return usage("--trace-capacity needs a positive integer"),
@@ -77,6 +92,19 @@ fn main() -> ExitCode {
         figures.push("all".to_string());
     }
     Obs::global().enable(metrics_out.is_some(), trace_out.is_some());
+    if let Some(path) = &metrics_out {
+        if let Err(e) = Obs::global().set_metrics_file(path) {
+            eprintln!("error: could not open {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = Obs::global().set_trace_file(path) {
+            eprintln!("error: could not open {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    perf::set_enabled(perf_out.is_some());
 
     let mut scale = match preset {
         Some("paper") => Scale::paper(),
@@ -139,31 +167,160 @@ fn main() -> ExitCode {
         println!("{}", ablations::utility_selection(&scale).render());
         println!("{}", ablations::sw_links(&scale).render());
     }
-    if let Some(path) = &metrics_out {
-        if let Err(e) = write_jsonl(path, Obs::global().take_metrics()) {
+    report_sinks();
+    if let Some(path) = &perf_out {
+        if let Err(e) = write_perf_report(path) {
             eprintln!("error: could not write {path}: {e}");
             return ExitCode::from(1);
         }
-        eprintln!("wrote metrics records to {path}");
-    }
-    if let Some(path) = &trace_out {
-        if let Err(e) = write_jsonl(path, Obs::global().take_trace()) {
-            eprintln!("error: could not write {path}: {e}");
-            return ExitCode::from(1);
-        }
-        eprintln!("wrote event trace to {path}");
     }
     ExitCode::SUCCESS
 }
 
-fn write_jsonl(path: &str, lines: Vec<String>) -> std::io::Result<()> {
-    use std::io::Write;
-    let file = std::fs::File::create(path)?;
-    let mut w = std::io::BufWriter::new(file);
-    for line in lines {
-        writeln!(w, "{line}")?;
+/// Report how many records each file-streaming sink wrote (they are
+/// already on disk — flushed line by line as runs finished).
+fn report_sinks() {
+    if let Some((path, lines)) = Obs::global().metrics_file_status() {
+        eprintln!("wrote {lines} metrics records to {path}");
     }
-    w.flush()
+    if let Some((path, lines)) = Obs::global().trace_file_status() {
+        eprintln!("wrote {lines} event-trace records to {path}");
+    }
+}
+
+/// Write the span profiler's aggregate and the memory accounting snapshot
+/// as JSONL to `path`, plus a flamegraph-compatible folded-stack
+/// companion at `path.folded` (`flamegraph.pl FILE.folded > out.svg`).
+fn write_perf_report(path: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let spans = perf::take_spans();
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for (p, s) in &spans {
+        writeln!(w, "{}", perf::span_jsonl_line(p, s))?;
+    }
+    writeln!(w, "{}", perf::mem_jsonl_line(&perf::mem_snapshot()))?;
+    w.flush()?;
+    let folded_path = format!("{path}.folded");
+    let mut fw = std::io::BufWriter::new(std::fs::File::create(&folded_path)?);
+    for (p, s) in &spans {
+        writeln!(fw, "{}", perf::folded_line(p, s))?;
+    }
+    fw.flush()?;
+    eprintln!(
+        "wrote {} span aggregates to {path} (folded stacks: {folded_path})",
+        spans.len()
+    );
+    Ok(())
+}
+
+/// The `scale` subcommand: sweep the node-count ladder across all three
+/// systems and write the results as a BENCH file (see `docs/METRICS.md`
+/// §9). Build with `--features perf-alloc` to include real allocator
+/// peak-memory entries.
+fn run_scale(args: &[String]) -> ExitCode {
+    use vitis_experiments::scalebench;
+    let mut max_nodes = scalebench::DEFAULT_MAX_NODES;
+    let mut seed: u64 = 42;
+    let mut out = "BENCH_PR6.json".to_string();
+    let mut perf_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_nodes = n,
+                None => return usage("--max-nodes needs an integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => return usage("--out needs a file path"),
+            },
+            "--perf-out" => match it.next() {
+                Some(p) => perf_out = Some(p.clone()),
+                None => return usage("--perf-out needs a file path"),
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => return usage("--trace-out needs a file path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    perf::set_enabled(perf_out.is_some());
+    let mut trace_w = match &trace_out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("error: could not open {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => None,
+    };
+    let streaming = trace_w.is_some();
+    println!(
+        "# Vitis scale sweep — up to {max_nodes} nodes, seed {seed}, allocator accounting {}",
+        if perf::mem_snapshot().counting { "on" } else { "off (build with --features perf-alloc)" }
+    );
+
+    // Each point gets a fresh shared trace; its events stream to the
+    // trace file the moment the point completes (Trace::write_jsonl), so
+    // nothing is double-buffered and an aborted sweep keeps every
+    // finished point's events.
+    let pending: std::cell::RefCell<Option<vitis_sim::trace::TraceHandle>> =
+        std::cell::RefCell::new(None);
+    let mut make_trace = |_sys: &'static str, _nodes: usize| {
+        let h = vitis_sim::trace::Trace::shared(Obs::global().trace_capacity());
+        *pending.borrow_mut() = Some(h.clone());
+        h
+    };
+    let entries = scalebench::run_sweep(
+        max_nodes,
+        seed,
+        streaming.then_some(&mut make_trace as &mut dyn FnMut(&'static str, usize) -> _),
+        |point| {
+            println!(
+                "{}/{}: build {:.0} ms, warmup {:.0} ms, measure {:.0} ms, drain {:.0} ms, \
+                 {:.0} deliveries/s",
+                point.system,
+                point.nodes,
+                point.build_ms,
+                point.warmup_ms,
+                point.measure_ms,
+                point.drain_ms,
+                point.deliveries_per_sec
+            );
+            if let (Some(w), Some(h)) = (trace_w.as_mut(), pending.borrow_mut().take()) {
+                if let Err(e) = h.borrow().write_jsonl(w) {
+                    eprintln!("warning: trace stream failed: {e}");
+                }
+            }
+        },
+    );
+    if let Some(mut w) = trace_w {
+        use std::io::Write;
+        if let Err(e) = w.flush() {
+            eprintln!("warning: trace stream flush failed: {e}");
+        }
+    }
+    let text = vitis_experiments::benchfmt::render(&entries);
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("error: could not write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {} BENCH entries to {out}", entries.len());
+    if let Some(path) = &perf_out {
+        if let Err(e) = write_perf_report(path) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// The `resilience` subcommand: sweep partition-episode severity across
@@ -196,6 +353,12 @@ fn run_resilience(args: &[String]) -> ExitCode {
         }
     }
     Obs::global().enable(metrics_out.is_some(), false);
+    if let Some(path) = &metrics_out {
+        if let Err(e) = Obs::global().set_metrics_file(path) {
+            eprintln!("error: could not open {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
     let mut scale = match preset {
         Some("paper") => Scale::paper(),
         Some("quick") => Scale::quick(),
@@ -211,13 +374,7 @@ fn run_resilience(args: &[String]) -> ExitCode {
     );
     let (hit, rec) = vitis_experiments::resilience::run(&scale);
     print!("{}\n{}\n", hit.render(), rec.render());
-    if let Some(path) = &metrics_out {
-        if let Err(e) = write_jsonl(path, Obs::global().take_metrics()) {
-            eprintln!("error: could not write {path}: {e}");
-            return ExitCode::from(1);
-        }
-        eprintln!("wrote metrics records to {path}");
-    }
+    report_sinks();
     ExitCode::SUCCESS
 }
 
@@ -264,13 +421,20 @@ fn usage(err: &str) -> ExitCode {
         "usage: vitis-experiments [fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 clusters headline ablations | all]\n\
          \t[--nodes N] [--seed S] [--replicas R] [--paper | --quick]\n\
          \t[--metrics-out FILE.jsonl] [--trace-out FILE.jsonl] [--trace-capacity N]\n\
+         \t[--perf-out FILE.jsonl] (span profiler + memory accounting; also writes FILE.jsonl.folded)\n\
          \t(schema: docs/METRICS.md)\n\
          \n\
          \tvitis-experiments analyze TRACE.jsonl [--dot FILE.dot]\n\
          \t(delivery forensics: per-event trees, hop/latency percentiles, loss attribution)\n\
          \n\
          \tvitis-experiments resilience [--nodes N] [--seed S] [--quick | --paper] [--metrics-out FILE.jsonl]\n\
-         \t(partition-severity sweep: hit ratio during the episode + reconvergence time after heal)"
+         \t(partition-severity sweep: hit ratio during the episode + reconvergence time after heal)\n\
+         \n\
+         \tvitis-experiments scale [--max-nodes N] [--seed S] [--out BENCH.json]\n\
+         \t\t[--perf-out FILE.jsonl] [--trace-out FILE.jsonl]\n\
+         \t(node-count ladder 2k..100k across vitis/rvr/opt; BENCH schema in docs/METRICS.md §9.\n\
+         \t build with --features perf-alloc for allocator peak-memory entries;\n\
+         \t compare two BENCH files with the bench-diff binary)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -11,10 +11,12 @@
 //!
 //! The schema of both sinks is documented in `docs/METRICS.md`.
 
+use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use vitis::monitor::PubSubStats;
+use vitis_sim::perf::EngineCounters;
 use vitis_sim::trace::{push_f64, push_json_str, HealthProbe, Trace, TraceEvent, TraceHandle};
 
 /// Default ring-buffer capacity of the per-run event trace. Old events
@@ -41,6 +43,65 @@ pub struct RoundSample {
     pub expected: u64,
 }
 
+/// Where a sink's finished JSONL lines go.
+///
+/// `Mem` accumulates lines for the CLI to drain at the end of a figure
+/// (the historical behavior). `File` streams each record to disk the
+/// moment a run finishes — every line is written and flushed whole, so a
+/// sweep that panics or is killed part-way still leaves a valid JSONL
+/// prefix covering every completed run.
+enum SinkStore {
+    Mem(Vec<String>),
+    File {
+        f: std::fs::File,
+        path: String,
+        lines: u64,
+    },
+}
+
+impl SinkStore {
+    /// Submit a batch of finished lines. In `File` mode the batch is
+    /// rendered into one buffer and written with a single `write_all`
+    /// (only whole lines ever reach the file), then flushed.
+    fn push_batch<I: IntoIterator<Item = String>>(&mut self, batch: I) {
+        match self {
+            SinkStore::Mem(v) => v.extend(batch),
+            SinkStore::File { f, path, lines } => {
+                let mut buf = String::new();
+                let mut n = 0u64;
+                for line in batch {
+                    buf.push_str(&line);
+                    buf.push('\n');
+                    n += 1;
+                }
+                if n == 0 {
+                    return;
+                }
+                if let Err(e) = f.write_all(buf.as_bytes()).and_then(|()| f.flush()) {
+                    eprintln!("warning: obs sink {path}: write failed: {e}");
+                } else {
+                    *lines += n;
+                }
+            }
+        }
+    }
+
+    fn take(&mut self) -> Vec<String> {
+        match self {
+            SinkStore::Mem(v) => std::mem::take(v),
+            SinkStore::File { .. } => Vec::new(),
+        }
+    }
+
+    /// `(path, lines written)` when file-backed.
+    fn file_status(&self) -> Option<(String, u64)> {
+        match self {
+            SinkStore::Mem(_) => None,
+            SinkStore::File { path, lines, .. } => Some((path.clone(), *lines)),
+        }
+    }
+}
+
 /// The global observability switchboard: two JSONL sinks plus on/off
 /// flags, shared by every figure runner in the process.
 pub struct Obs {
@@ -48,8 +109,8 @@ pub struct Obs {
     trace_on: AtomicBool,
     trace_capacity: AtomicUsize,
     run_counter: AtomicU64,
-    metrics_lines: Mutex<Vec<String>>,
-    trace_lines: Mutex<Vec<String>>,
+    metrics_sink: Mutex<SinkStore>,
+    trace_sink: Mutex<SinkStore>,
 }
 
 static GLOBAL: Obs = Obs {
@@ -57,8 +118,8 @@ static GLOBAL: Obs = Obs {
     trace_on: AtomicBool::new(false),
     trace_capacity: AtomicUsize::new(TRACE_CAPACITY),
     run_counter: AtomicU64::new(0),
-    metrics_lines: Mutex::new(Vec::new()),
-    trace_lines: Mutex::new(Vec::new()),
+    metrics_sink: Mutex::new(SinkStore::Mem(Vec::new())),
+    trace_sink: Mutex::new(SinkStore::Mem(Vec::new())),
 };
 
 impl Obs {
@@ -109,18 +170,63 @@ impl Obs {
             phases: Vec::new(),
             samples: Vec::new(),
             trace: None,
+            perf: None,
         }
     }
 
-    /// Drain the metrics sink (one JSONL line per finished run).
+    /// Stream metrics records straight to `path` instead of buffering in
+    /// memory. Each record is written and flushed as its run finishes, so
+    /// an aborted sweep leaves a valid partial JSONL file.
+    pub fn set_metrics_file(&self, path: &str) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        *self.metrics_sink.lock().expect("obs lock") = SinkStore::File {
+            f,
+            path: path.to_string(),
+            lines: 0,
+        };
+        Ok(())
+    }
+
+    /// Stream trace records straight to `path` (same crash-safety as
+    /// [`Obs::set_metrics_file`]).
+    pub fn set_trace_file(&self, path: &str) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        *self.trace_sink.lock().expect("obs lock") = SinkStore::File {
+            f,
+            path: path.to_string(),
+            lines: 0,
+        };
+        Ok(())
+    }
+
+    /// Drain the metrics sink (one JSONL line per finished run). Empty in
+    /// file-streaming mode — the records are already on disk.
     pub fn take_metrics(&self) -> Vec<String> {
-        std::mem::take(&mut self.metrics_lines.lock().expect("obs lock"))
+        self.metrics_sink.lock().expect("obs lock").take()
     }
 
     /// Drain the trace sink (one JSONL line per trace event, each
-    /// stamped with its run id).
+    /// stamped with its run id). Empty in file-streaming mode.
     pub fn take_trace(&self) -> Vec<String> {
-        std::mem::take(&mut self.trace_lines.lock().expect("obs lock"))
+        self.trace_sink.lock().expect("obs lock").take()
+    }
+
+    /// `(path, lines written so far)` of the metrics sink when it streams
+    /// to a file.
+    pub fn metrics_file_status(&self) -> Option<(String, u64)> {
+        self.metrics_sink.lock().expect("obs lock").file_status()
+    }
+
+    /// `(path, lines written so far)` of the trace sink when it streams
+    /// to a file.
+    pub fn trace_file_status(&self) -> Option<(String, u64)> {
+        self.trace_sink.lock().expect("obs lock").file_status()
+    }
+
+    /// Submit lines produced outside a run scope (e.g. the CLI's final
+    /// health records) through the same sink as run metrics.
+    pub fn push_metrics_lines<I: IntoIterator<Item = String>>(&self, lines: I) {
+        self.metrics_sink.lock().expect("obs lock").push_batch(lines);
     }
 }
 
@@ -135,6 +241,19 @@ pub struct RunCtx {
     phases: Vec<(&'static str, f64)>,
     samples: Vec<RoundSample>,
     trace: Option<TraceHandle>,
+    perf: Option<PerfSample>,
+}
+
+/// Deterministic perf facts captured at the end of a run: engine-side
+/// counters plus the structural footprint estimate. Pure functions of the
+/// simulation (no wall clock), so they survive the determinism
+/// double-run diff unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfSample {
+    /// Queue high-water mark and per-phase activation counts.
+    pub counters: EngineCounters,
+    /// Structural per-node footprint estimate, summed over alive nodes.
+    pub footprint_bytes: u64,
 }
 
 impl RunCtx {
@@ -214,12 +333,36 @@ impl RunCtx {
         }
     }
 
+    /// Attach the system's deterministic perf facts to this run's metrics
+    /// record (rendered as the `"perf"` object). Call just before
+    /// [`RunCtx::finish`], after the measurement window closes.
+    pub fn record_perf(&mut self, counters: EngineCounters, footprint_bytes: u64) {
+        if self.disabled() {
+            return;
+        }
+        self.perf = Some(PerfSample {
+            counters,
+            footprint_bytes,
+        });
+    }
+
     /// Render and submit this run's records to the global sinks. Called
     /// once at the end of [`crate::runner::measure_obs`].
     pub fn finish(self, scale: &crate::scale::Scale, stats: &PubSubStats) {
         if self.obs.metrics_on() {
-            let line = render_metrics_line(&self.run, scale, &self.phases, &self.samples, stats);
-            self.obs.metrics_lines.lock().expect("obs lock").push(line);
+            let line = render_metrics_line(
+                &self.run,
+                scale,
+                &self.phases,
+                &self.samples,
+                stats,
+                self.perf.as_ref(),
+            );
+            self.obs
+                .metrics_sink
+                .lock()
+                .expect("obs lock")
+                .push_batch([line]);
         }
         if let Some(t) = &self.trace {
             let t = t.borrow();
@@ -232,11 +375,15 @@ impl RunCtx {
                     t.total_recorded()
                 );
             }
-            let mut lines = self.obs.trace_lines.lock().expect("obs lock");
-            lines.push(trace_meta_line(&self.run, &t));
+            let mut batch = vec![trace_meta_line(&self.run, &t)];
             for ev in t.events() {
-                lines.push(stamp_run(&self.run, &vitis_sim::trace::event_to_json(ev)));
+                batch.push(stamp_run(&self.run, &vitis_sim::trace::event_to_json(ev)));
             }
+            self.obs
+                .trace_sink
+                .lock()
+                .expect("obs lock")
+                .push_batch(batch);
         }
     }
 }
@@ -270,6 +417,7 @@ fn render_metrics_line(
     phases: &[(&'static str, f64)],
     samples: &[RoundSample],
     stats: &PubSubStats,
+    perf: Option<&PerfSample>,
 ) -> String {
     let mut o = String::with_capacity(512);
     o.push_str("{\"type\":\"run\",\"run\":");
@@ -278,6 +426,19 @@ fn render_metrics_line(
         ",\"nodes\":{},\"topics\":{},\"seed\":{}",
         scale.nodes, scale.topics, scale.seed
     ));
+    if let Some(p) = perf {
+        let c = &p.counters;
+        o.push_str(&format!(
+            ",\"perf\":{{\"queue_hwm\":{},\"activations\":{{\"start\":{},\"round\":{},\
+             \"message\":{},\"stop\":{}}},\"footprint_bytes\":{}}}",
+            c.queue_hwm,
+            c.activations_start,
+            c.activations_round,
+            c.activations_message,
+            c.activations_stop,
+            p.footprint_bytes
+        ));
+    }
     o.push_str(",\"phase_ms\":{");
     for (i, (name, ms)) in phases.iter().enumerate() {
         if i > 0 {
@@ -388,11 +549,54 @@ mod tests {
                 expected: 10,
             }],
             &stats,
+            None,
         );
         assert!(line.contains("\"phase_ms\":{\"build\":1.5,\"measure\":2}"));
         assert!(line.contains("\"hit_ratio\":null"));
         assert!(line.contains("\"samples\":[{\"round\":1,"));
         assert!(!line.contains('\n'));
+        assert!(!line.contains("\"perf\""));
+    }
+
+    #[test]
+    fn perf_object_renders_deterministic_integers() {
+        let scale = crate::scale::Scale::quick();
+        let stats = PubSubStats::default();
+        let perf = PerfSample {
+            counters: EngineCounters {
+                queue_hwm: 7,
+                activations_start: 4,
+                activations_round: 40,
+                activations_message: 12,
+                activations_stop: 1,
+            },
+            footprint_bytes: 2048,
+        };
+        let line = render_metrics_line("t/x#2", &scale, &[], &[], &stats, Some(&perf));
+        assert!(line.contains(
+            "\"perf\":{\"queue_hwm\":7,\"activations\":{\"start\":4,\"round\":40,\
+             \"message\":12,\"stop\":1},\"footprint_bytes\":2048}"
+        ));
+    }
+
+    #[test]
+    fn file_sink_streams_whole_flushed_lines() {
+        let path = std::env::temp_dir().join(format!("obs_sink_test_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        let mut sink = SinkStore::File {
+            f: std::fs::File::create(&path).unwrap(),
+            path: path_s.clone(),
+            lines: 0,
+        };
+        sink.push_batch(["{\"a\":1}".to_string(), "{\"b\":2}".to_string()]);
+        // Lines are durable immediately — read back without dropping the
+        // sink, as a killed process would leave them.
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, "{\"a\":1}\n{\"b\":2}\n");
+        assert_eq!(sink.file_status(), Some((path_s, 2)));
+        // File mode has nothing to drain; records are already on disk.
+        assert!(sink.take().is_empty());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -190,6 +190,7 @@ pub fn run_point(
     let outcome = run_system(sys.as_mut(), plan, scale, severity, period);
     ctx.phase("run");
     let stats = sys.stats();
+    ctx.record_perf(sys.perf_counters(), sys.footprint_estimate());
     ctx.finish(scale, &stats);
     outcome
 }

@@ -79,35 +79,44 @@ pub fn measure_obs(
 ) -> PubSubStats {
     ctx.phase("build");
     ctx.install_trace(sys);
-    sys.run_rounds(scale.warmup_rounds);
+    {
+        let _span = vitis_sim::perf::span("measure.warmup");
+        sys.run_rounds(scale.warmup_rounds);
+    }
     ctx.phase("warmup");
     sys.reset_metrics();
     let chunk = (scale.events / 10).max(1);
     let mut published = 0usize;
     let mut topic_cursor = 0u32;
     let mut round = 0u64;
-    while published < scale.events {
-        for _ in 0..chunk.min(scale.events - published) {
-            match plan {
-                PublishPlan::RoundRobin => {
-                    sys.publish(TopicId(topic_cursor));
-                    topic_cursor = (topic_cursor + 1) % scale.topics as u32;
+    {
+        let _span = vitis_sim::perf::span("measure.publish_window");
+        while published < scale.events {
+            for _ in 0..chunk.min(scale.events - published) {
+                match plan {
+                    PublishPlan::RoundRobin => {
+                        sys.publish(TopicId(topic_cursor));
+                        topic_cursor = (topic_cursor + 1) % scale.topics as u32;
+                    }
+                    PublishPlan::RateWeighted => {
+                        sys.publish_weighted();
+                    }
                 }
-                PublishPlan::RateWeighted => {
-                    sys.publish_weighted();
-                }
+                published += 1;
             }
-            published += 1;
+            sys.run_rounds(1);
+            round += 1;
+            ctx.sample(round, &*sys);
         }
-        sys.run_rounds(1);
-        round += 1;
-        ctx.sample(round, &*sys);
     }
     ctx.phase("measure");
-    for _ in 0..scale.drain_rounds {
-        sys.run_rounds(1);
-        round += 1;
-        ctx.sample(round, &*sys);
+    {
+        let _span = vitis_sim::perf::span("measure.drain");
+        for _ in 0..scale.drain_rounds {
+            sys.run_rounds(1);
+            round += 1;
+            ctx.sample(round, &*sys);
+        }
     }
     ctx.phase("drain");
     if ctx.has_trace() {
@@ -116,6 +125,7 @@ pub fn measure_obs(
         // `drop_event` record in the installed trace.
         let _ = sys.loss_report();
     }
+    ctx.record_perf(sys.perf_counters(), sys.footprint_estimate());
     let stats = sys.stats();
     ctx.finish(scale, &stats);
     stats

@@ -1,0 +1,262 @@
+//! The `scale` subcommand: a node-count sweep benchmarking all three
+//! systems, emitting per-phase wall-clock, peak memory and dissemination
+//! throughput in the shared BENCH format ([`crate::benchfmt`]).
+//!
+//! Points run **sequentially** (unlike the Rayon figure sweeps) so the
+//! allocator peak measured after each point belongs to that point alone:
+//! [`vitis_sim::perf::reset_mem_peak`] rebases the high-water mark before
+//! each system is built. Wall-clock numbers never feed simulation state —
+//! the simulations themselves stay bit-deterministic for a fixed seed.
+//!
+//! The default ladder stops at 10 000 nodes (the paper's scale, and what
+//! CI's deep job can afford); `--max-nodes 100000` unlocks the full
+//! trajectory.
+
+use crate::benchfmt::BenchEntry;
+use crate::runner::synthetic_params;
+use crate::scale::Scale;
+use std::time::Instant;
+use vitis::system::{PubSub, SystemParams, VitisSystem};
+use vitis_baselines::{OptSystem, RvrSystem};
+use vitis_sim::perf;
+use vitis_sim::trace::TraceHandle;
+use vitis_workloads::Correlation;
+
+/// The full node-count trajectory. Entries above `max_nodes` are skipped
+/// (the 50k/100k points take serious wall-clock and memory).
+pub const LADDER: [usize; 6] = [2_000, 5_000, 10_000, 20_000, 50_000, 100_000];
+
+/// Default `--max-nodes`: the paper's 10 000-node setting.
+pub const DEFAULT_MAX_NODES: usize = 10_000;
+
+/// One benchmarked (system, node-count) point.
+#[derive(Clone, Debug)]
+pub struct BenchPoint {
+    /// System label (`vitis` / `rvr` / `opt`).
+    pub system: &'static str,
+    /// Node count of this point.
+    pub nodes: usize,
+    /// Wall-clock per phase, milliseconds.
+    pub build_ms: f64,
+    /// Warmup-phase wall-clock (ms).
+    pub warmup_ms: f64,
+    /// Publish-window wall-clock (ms).
+    pub measure_ms: f64,
+    /// Drain-phase wall-clock (ms).
+    pub drain_ms: f64,
+    /// Allocator peak since the point started (0 without `perf-alloc`).
+    pub peak_bytes: u64,
+    /// Structural per-node footprint estimate at the end of the run.
+    pub footprint_bytes: u64,
+    /// Deliveries achieved in the window.
+    pub delivered: u64,
+    /// Deliveries per wall-clock second over measure + drain.
+    pub deliveries_per_sec: f64,
+    /// Hit ratio of the window (sanity context, never gated).
+    pub hit_ratio: f64,
+}
+
+impl BenchPoint {
+    /// Flatten into BENCH entries named `scale/{system}/{nodes}/...`.
+    pub fn entries(&self) -> Vec<BenchEntry> {
+        let p = format!("scale/{}/{}", self.system, self.nodes);
+        let mut out = vec![
+            BenchEntry::new(format!("{p}/build_ms"), self.build_ms, "ms"),
+            BenchEntry::new(format!("{p}/warmup_ms"), self.warmup_ms, "ms"),
+            BenchEntry::new(format!("{p}/measure_ms"), self.measure_ms, "ms"),
+            BenchEntry::new(format!("{p}/drain_ms"), self.drain_ms, "ms"),
+            BenchEntry::new(
+                format!("{p}/deliveries_per_sec"),
+                self.deliveries_per_sec,
+                "per_sec",
+            ),
+            BenchEntry::new(
+                format!("{p}/footprint_bytes"),
+                self.footprint_bytes as f64,
+                "bytes",
+            ),
+            BenchEntry::new(format!("{p}/delivered"), self.delivered as f64, "count"),
+            BenchEntry::new(format!("{p}/hit_ratio"), self.hit_ratio, "ratio"),
+        ];
+        if self.peak_bytes > 0 {
+            out.push(BenchEntry::new(
+                format!("{p}/peak_bytes"),
+                self.peak_bytes as f64,
+                "bytes",
+            ));
+        }
+        out
+    }
+}
+
+/// The sweep's measurement plan at `nodes`: paper proportions, but a
+/// fixed-size publish window so throughput numbers compare across the
+/// ladder (the work per event grows with N; the event count must not).
+pub fn sweep_scale(nodes: usize, seed: u64) -> Scale {
+    let mut s = Scale::proportional(nodes, seed);
+    s.warmup_rounds = 30;
+    s.events = 200;
+    s.drain_rounds = 8;
+    s
+}
+
+/// Run one (system, node-count) point. `trace` is installed when the
+/// caller streams an event trace.
+fn bench_point(
+    system: &'static str,
+    scale: &Scale,
+    trace: Option<TraceHandle>,
+    build: impl FnOnce(SystemParams) -> Box<dyn PubSub>,
+) -> BenchPoint {
+    let _span = perf::span("scale.point");
+    perf::reset_mem_peak();
+
+    let t = Instant::now();
+    let params = synthetic_params(scale, Correlation::High);
+    let mut sys = {
+        let _span = perf::span("scale.build");
+        build(params)
+    };
+    if let Some(t) = trace {
+        sys.install_trace(t);
+    }
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    {
+        let _span = perf::span("scale.warmup");
+        sys.run_rounds(scale.warmup_rounds);
+    }
+    let warmup_ms = t.elapsed().as_secs_f64() * 1e3;
+    sys.reset_metrics();
+
+    let t = Instant::now();
+    {
+        let _span = perf::span("scale.measure");
+        let chunk = (scale.events / 10).max(1);
+        let mut published = 0usize;
+        let mut topic = 0u32;
+        while published < scale.events {
+            for _ in 0..chunk.min(scale.events - published) {
+                sys.publish(vitis::topic::TopicId(topic));
+                topic = (topic + 1) % scale.topics as u32;
+                published += 1;
+            }
+            sys.run_rounds(1);
+        }
+    }
+    let measure_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    {
+        let _span = perf::span("scale.drain");
+        sys.run_rounds(scale.drain_rounds);
+    }
+    let drain_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let stats = sys.stats();
+    let window_secs = (measure_ms + drain_ms) / 1e3;
+    BenchPoint {
+        system,
+        nodes: scale.nodes,
+        build_ms,
+        warmup_ms,
+        measure_ms,
+        drain_ms,
+        peak_bytes: perf::mem_snapshot().peak_bytes,
+        footprint_bytes: sys.footprint_estimate(),
+        delivered: stats.delivered,
+        deliveries_per_sec: if window_secs > 0.0 {
+            stats.delivered as f64 / window_secs
+        } else {
+            0.0
+        },
+        hit_ratio: stats.hit_ratio,
+    }
+}
+
+/// Run the sweep over every ladder point `<= max_nodes`, all three
+/// systems per point, returning the flattened BENCH entries. Progress
+/// goes to stderr; `make_trace` (when given) supplies a fresh trace
+/// handle per point, which the caller drains after this returns point
+/// results via `on_point`.
+pub fn run_sweep(
+    max_nodes: usize,
+    seed: u64,
+    mut make_trace: Option<&mut dyn FnMut(&'static str, usize) -> TraceHandle>,
+    mut on_point: impl FnMut(&BenchPoint),
+) -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    let ladder: Vec<usize> = LADDER.iter().copied().filter(|&n| n <= max_nodes).collect();
+    let skipped = LADDER.len() - ladder.len();
+    if skipped > 0 {
+        eprintln!(
+            "scale: stopping at {max_nodes} nodes ({skipped} larger ladder points skipped; \
+             raise --max-nodes for the full trajectory)"
+        );
+    }
+    for &nodes in &ladder {
+        let scale = sweep_scale(nodes, seed);
+        type Build = fn(SystemParams) -> Box<dyn PubSub>;
+        let systems: [(&'static str, Build); 3] = [
+            ("vitis", |p| Box::new(VitisSystem::new(p))),
+            ("rvr", |p| Box::new(RvrSystem::new(p))),
+            ("opt", |p| Box::new(OptSystem::new(p))),
+        ];
+        for (name, build) in systems {
+            eprintln!("scale: {name} @ {nodes} nodes...");
+            let trace = make_trace.as_mut().map(|f| f(name, nodes));
+            let point = bench_point(name, &scale, trace, build);
+            on_point(&point);
+            entries.extend(point.entries());
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_scale_fixes_the_window() {
+        let s = sweep_scale(2_000, 42);
+        assert_eq!(s.events, 200);
+        assert_eq!(s.warmup_rounds, 30);
+        assert_eq!(s.drain_rounds, 8);
+        assert_eq!(s.topics, 1_000); // paper proportions preserved
+    }
+
+    #[test]
+    fn tiny_sweep_emits_full_entry_set() {
+        // Below the real ladder: drive bench_point directly at toy size so
+        // the test stays fast while exercising the whole path.
+        let scale = {
+            let mut s = sweep_scale(200, 7);
+            s.warmup_rounds = 15;
+            s.events = 30;
+            s
+        };
+        let point = bench_point("vitis", &scale, None, |p| Box::new(VitisSystem::new(p)));
+        assert_eq!(point.nodes, 200);
+        assert!(point.delivered > 0, "toy sweep must deliver events");
+        assert!(point.deliveries_per_sec > 0.0);
+        assert!(point.footprint_bytes > 0);
+        let entries = point.entries();
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"scale/vitis/200/measure_ms"));
+        assert!(names.contains(&"scale/vitis/200/deliveries_per_sec"));
+        assert!(names.contains(&"scale/vitis/200/footprint_bytes"));
+        // peak_bytes appears only when the counting allocator is active.
+        assert_eq!(
+            names.contains(&"scale/vitis/200/peak_bytes"),
+            cfg!(feature = "perf-alloc")
+        );
+    }
+
+    #[test]
+    fn ladder_is_bounded_by_max_nodes() {
+        let within: Vec<usize> = LADDER.iter().copied().filter(|&n| n <= 10_000).collect();
+        assert_eq!(within, vec![2_000, 5_000, 10_000]);
+    }
+}

@@ -99,6 +99,7 @@ pub struct Engine<P: Protocol, N: NetworkModel = ConstantLatency> {
     now: SimTime,
     engine_rng: SmallRng,
     stats: EngineStats,
+    counters: crate::perf::EngineCounters,
     effects_buf: Vec<Effect<P::Msg>>,
     ledger: TrafficLedger,
     trace: Option<TraceHandle>,
@@ -127,6 +128,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
             now: SimTime::ZERO,
             engine_rng,
             stats: EngineStats::default(),
+            counters: crate::perf::EngineCounters::default(),
             effects_buf: Vec::new(),
             ledger: TrafficLedger::new(),
             trace: None,
@@ -219,6 +221,24 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
         self.stats
     }
 
+    /// Cumulative performance counters (queue-depth high-water mark,
+    /// per-kind protocol activations). Deterministic — unlike wall-clock
+    /// spans, these are safe to embed in reproducible artifacts.
+    #[inline]
+    pub fn perf_counters(&self) -> crate::perf::EngineCounters {
+        self.counters
+    }
+
+    /// Push an event and keep the queue-depth high-water mark current.
+    #[inline]
+    fn push_event(&mut self, at: SimTime, ev: Ev<P::Msg>) {
+        self.queue.push(at, ev);
+        let depth = self.queue.len() as u64;
+        if depth > self.counters.queue_hwm {
+            self.counters.queue_hwm = depth;
+        }
+    }
+
     /// Number of pending events in the queue (ticks + in-flight messages).
     #[inline]
     pub fn queue_len(&self) -> usize {
@@ -296,7 +316,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
     /// stimuli such as a publish command. Delivered one tick from now with
     /// `from == to`, like a self-timer.
     pub fn inject(&mut self, to: NodeIdx, msg: P::Msg) {
-        self.queue.push(
+        self.push_event(
             self.now + Duration(1),
             Ev::Deliver {
                 to,
@@ -357,7 +377,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
             self.cfg.round_period
         };
         let inc = self.slots[idx.index()].incarnation;
-        self.queue.push(
+        self.push_event(
             self.now + phase,
             Ev::RoundTick {
                 node: idx,
@@ -406,6 +426,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
     /// Run the simulation until simulated time `t` (inclusive of events at
     /// `t`), then set the clock to `t`.
     pub fn run_until(&mut self, t: SimTime) {
+        let _span = crate::perf::span("engine.run_until");
         while let Some(et) = self.queue.peek_time() {
             if et > t {
                 break;
@@ -487,7 +508,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                     }
                     // Frozen nodes skip the round but keep the tick chain
                     // alive so they resume when thawed.
-                    self.queue.push(
+                    self.push_event(
                         self.now + self.cfg.round_period,
                         Ev::RoundTick { node, incarnation },
                     );
@@ -521,6 +542,12 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
             Some(p) => p,
             None => return,
         };
+        match &kind {
+            DispatchKind::Start => self.counters.activations_start += 1,
+            DispatchKind::Round => self.counters.activations_round += 1,
+            DispatchKind::Message { .. } => self.counters.activations_message += 1,
+            DispatchKind::Stop(_) => self.counters.activations_stop += 1,
+        }
         let discard_effects = matches!(kind, DispatchKind::Stop(StopReason::Crash));
         let mut effects = std::mem::take(&mut self.effects_buf);
         effects.clear();
@@ -557,7 +584,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                         if let Some(lat) =
                             self.network.latency(self.now, idx, to, &mut self.engine_rng)
                         {
-                            self.queue.push(
+                            self.push_event(
                                 self.now + lat,
                                 Ev::Deliver {
                                     to,
@@ -571,7 +598,7 @@ impl<P: Protocol, N: NetworkModel> Engine<P, N> {
                         }
                     }
                     Effect::TimerMsg { delay, msg } => {
-                        self.queue.push(
+                        self.push_event(
                             self.now + delay,
                             Ev::Deliver {
                                 to: idx,
@@ -912,6 +939,56 @@ mod tests {
             .events()
             .all(|e| !matches!(e, TraceEvent::MsgSend { .. } | TraceEvent::MsgDeliver { .. })));
         assert!(t.events().any(|e| matches!(e, TraceEvent::Join { .. })));
+    }
+
+    #[test]
+    fn perf_counters_match_hand_computed_values() {
+        // Lockstep mode so round counts are exact: two nodes, node 0
+        // pings node 1 every round, node 1 pongs back.
+        let mut eng = Engine::new(EngineConfig {
+            seed: 1,
+            round_period: Duration(16),
+            desynchronize_rounds: false,
+        });
+        let b = NodeIdx(1);
+        eng.add_node(pp(Some(b)));
+        eng.add_node(pp(None));
+        // 2 starts so far; no rounds, no messages.
+        let c = eng.perf_counters();
+        assert_eq!(c.activations_start, 2);
+        assert_eq!(c.activations_round, 0);
+        assert_eq!(c.activations_message, 0);
+        // Both round ticks are pending: high-water mark is 2.
+        assert_eq!(c.queue_hwm, 2);
+
+        eng.run_rounds(4);
+        let c = eng.perf_counters();
+        // 4 rounds × 2 nodes. Messages travel one tick, so the 4th
+        // round's ping (and its pong) are still in flight when the clock
+        // stops: 3 pings + 3 pongs delivered.
+        assert_eq!(c.activations_round, 8);
+        assert_eq!(c.activations_message, eng.stats().messages_delivered);
+        assert_eq!(c.activations_message, 6);
+        assert_eq!(c.activations_stop, 0);
+        assert_eq!(c.total_activations(), 2 + 8 + 6);
+        // Two ticks plus at most one in-flight ping and one pong.
+        assert!(c.queue_hwm >= 3 && c.queue_hwm <= 4, "hwm {}", c.queue_hwm);
+
+        eng.remove_node(b, StopReason::Leave);
+        assert_eq!(eng.perf_counters().activations_stop, 1);
+    }
+
+    #[test]
+    fn perf_counters_are_deterministic() {
+        let run = || {
+            let mut eng = Engine::new(cfg());
+            let b = NodeIdx(1);
+            let a = eng.add_node(pp(Some(b)));
+            eng.add_node(pp(Some(a)));
+            eng.run_rounds(10);
+            eng.perf_counters()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod network;
+pub mod perf;
 pub mod protocol;
 pub mod rng;
 pub mod stats;
@@ -52,6 +53,7 @@ pub mod prelude {
     };
     pub use crate::metrics::{Counter, Histogram, Summary, TimeSeries};
     pub use crate::network::{ConstantLatency, Lossy, NetworkModel, UniformLatency};
+    pub use crate::perf::{EngineCounters, MemSnapshot, SpanStat};
     pub use crate::protocol::{Context, Protocol, StopReason};
     pub use crate::time::{Duration, SimTime};
     pub use crate::trace::{

@@ -461,14 +461,30 @@ impl Trace {
         self.total = 0;
     }
 
-    /// Render the retained events as JSONL, one event per line.
-    pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+    /// Stream the retained events as JSONL into `w`, one event per line.
+    ///
+    /// Unlike [`Trace::to_jsonl`] this never materializes the whole dump:
+    /// one line buffer is reused across events, so exporting a large ring
+    /// directly to a file costs O(longest line) memory instead of
+    /// O(total dump).
+    pub fn write_jsonl<W: std::io::Write + ?Sized>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut line = String::with_capacity(160);
         for ev in &self.buf {
-            write_event(&mut out, ev);
-            out.push('\n');
+            line.clear();
+            write_event(&mut line, ev);
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
         }
-        out
+        Ok(())
+    }
+
+    /// Render the retained events as one JSONL string (a thin buffered
+    /// wrapper over [`Trace::write_jsonl`]; prefer that for large traces).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = Vec::with_capacity(self.buf.len() * 96);
+        self.write_jsonl(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("trace JSONL is valid UTF-8")
     }
 }
 
@@ -1278,6 +1294,28 @@ mod tests {
         for (line, ev) in lines.iter().zip(t.events()) {
             assert_eq!(parse_event(line).as_ref(), Ok(ev));
         }
+    }
+
+    #[test]
+    fn write_jsonl_streams_exactly_what_to_jsonl_renders() {
+        let mut t = Trace::new(16);
+        for ev in sample_events() {
+            t.record(ev);
+        }
+        let mut streamed = Vec::new();
+        t.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), t.to_jsonl());
+        // Write errors propagate instead of panicking.
+        struct Full;
+        impl std::io::Write for Full {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(t.write_jsonl(&mut Full).is_err());
     }
 
     #[test]
