@@ -11,6 +11,7 @@ use vitis::monitor::{EventId, LossReason, LossReport, MissContext, Monitor};
 use vitis::runtime::{hybrid_rt_probe, PubSubProtocol, SystemRuntime};
 use vitis::system::SystemParams;
 use vitis::topic::{RateTable, Subs, TopicId};
+use vitis::topo::{NodeTopo, RelayTopo, TopoLink};
 use vitis_overlay::entry::Entry;
 use vitis_overlay::id::Id;
 use vitis_sim::event::NodeIdx;
@@ -156,6 +157,39 @@ impl PubSubProtocol for RvrProtocol {
         let (ring, age) = hybrid_rt_probe(rt, |n| n.routing_table());
         (Some(ring), age)
     }
+
+    fn node_topo(&self, idx: NodeIdx, node: &RvrNode) -> NodeTopo {
+        NodeTopo {
+            node: idx,
+            ring_id: node.ring_id(),
+            subs: node.subscriptions().iter().collect(),
+            links: node
+                .routing_table()
+                .iter_kinds()
+                .map(|(kind, e)| TopoLink {
+                    peer: e.addr,
+                    kind: kind.as_str(),
+                    age: Some(e.age),
+                })
+                .collect(),
+            relays: node
+                .tree_table()
+                .entries()
+                .map(|(topic, e)| RelayTopo {
+                    topic,
+                    upstream: e.upstream(),
+                    upstream_age: e.upstream_age(),
+                    downstream: e.downstreams().collect(),
+                    rendezvous: e.is_rendezvous(),
+                })
+                .collect(),
+            // RVR has no gateway election: subscribers join the tree
+            // directly, so there is no believed-gateway view to export.
+            gateway_view: Vec::new(),
+            view_bound: Some(self.cfg.rt_size),
+            relay_ttl: Some(self.cfg.tree_ttl),
+        }
+    }
 }
 
 /// A complete OPT (SpiderCast-equivalent) network behind the uniform
@@ -263,6 +297,28 @@ impl PubSubProtocol for OptProtocol {
 
     // structure_probe: the default `(None, None)` — OPT keeps no ring and
     // its link set carries no age.
+
+    fn node_topo(&self, idx: NodeIdx, node: &OptNode) -> NodeTopo {
+        NodeTopo {
+            node: idx,
+            ring_id: node.ring_id(),
+            subs: node.subscriptions().iter().collect(),
+            links: node
+                .neighbor_addrs()
+                .into_iter()
+                .map(|peer| TopoLink {
+                    peer,
+                    kind: "mesh",
+                    age: None,
+                })
+                .collect(),
+            // OPT floods per-topic subgraphs: no relay state, no gateways.
+            relays: Vec::new(),
+            gateway_view: Vec::new(),
+            view_bound: self.cfg.max_degree,
+            relay_ttl: None,
+        }
+    }
 }
 
 #[cfg(test)]

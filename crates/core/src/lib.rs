@@ -50,6 +50,7 @@ pub mod relay;
 pub mod runtime;
 pub mod system;
 pub mod topic;
+pub mod topo;
 pub mod utility;
 
 pub use utility::utility;

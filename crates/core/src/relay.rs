@@ -43,6 +43,21 @@ impl RelayEntry {
     pub fn is_rendezvous(&self) -> bool {
         self.rendezvous
     }
+
+    /// Freshness age of the upstream link, if one exists.
+    pub fn upstream_age(&self) -> Option<u16> {
+        self.upstream.map(|(_, age)| age)
+    }
+
+    /// The downstream links with their freshness ages.
+    pub fn downstream_links(&self) -> impl Iterator<Item = (NodeIdx, u16)> + '_ {
+        self.downstream.iter().copied()
+    }
+
+    /// Number of downstream links.
+    pub fn num_downstreams(&self) -> usize {
+        self.downstream.len()
+    }
 }
 
 /// All relay entries held by one node.
@@ -165,6 +180,11 @@ impl RelayTable {
     pub fn topics(&self) -> impl Iterator<Item = TopicId> + '_ {
         self.entries.keys().copied()
     }
+
+    /// Every entry with its topic, in topic order (for telemetry exports).
+    pub fn entries(&self) -> impl Iterator<Item = (TopicId, &RelayEntry)> + '_ {
+        self.entries.iter().map(|(&t, e)| (t, e))
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +280,85 @@ mod tests {
         rt.add_downstream(T, n(1));
         assert_eq!(rt.get(T).unwrap().downstreams().count(), 1);
         assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn upstream_replacement_resets_target_and_age() {
+        let mut rt = RelayTable::new();
+        rt.set_upstream(T, n(9));
+        rt.tick();
+        rt.tick();
+        assert_eq!(rt.get(T).unwrap().upstream_age(), Some(2));
+        // Churn moved the rendezvous: the greedy next hop changes.
+        rt.set_upstream(T, n(4));
+        let e = rt.get(T).unwrap();
+        assert_eq!(e.upstream(), Some(n(4)));
+        assert_eq!(e.upstream_age(), Some(0));
+    }
+
+    #[test]
+    fn downstream_removal_under_churn_keeps_other_ages() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(T, n(1));
+        rt.tick();
+        rt.add_downstream(T, n(2)); // younger link
+        rt.remove_peer(n(1));
+        let e = rt.get(T).unwrap();
+        assert_eq!(e.downstreams().collect::<Vec<_>>(), vec![n(2)]);
+        // Removal must not disturb the surviving link's freshness age.
+        assert_eq!(e.downstream_links().collect::<Vec<_>>(), vec![(n(2), 0)]);
+        assert_eq!(e.num_downstreams(), 1);
+    }
+
+    #[test]
+    fn rendezvous_remarking_cycle() {
+        let mut rt = RelayTable::new();
+        rt.mark_rendezvous(T);
+        assert!(rt.get(T).unwrap().is_rendezvous());
+        // A joining node takes over the rendezvous position...
+        rt.set_upstream(T, n(5));
+        let e = rt.get(T).unwrap();
+        assert!(!e.is_rendezvous());
+        assert_eq!(e.upstream(), Some(n(5)));
+        // ...then crashes and the lookup terminates here again.
+        rt.mark_rendezvous(T);
+        let e = rt.get(T).unwrap();
+        assert!(e.is_rendezvous());
+        assert_eq!(e.upstream(), None);
+    }
+
+    #[test]
+    fn crashed_peer_removed_across_topics() {
+        const T2: TopicId = TopicId(7);
+        let mut rt = RelayTable::new();
+        // The crashed node appears as upstream of one topic and downstream
+        // of another.
+        rt.set_upstream(T, n(3));
+        rt.add_downstream(T, n(1));
+        rt.add_downstream(T2, n(3));
+        rt.mark_rendezvous(T2);
+        rt.add_downstream(T2, n(8));
+        rt.remove_peer(n(3));
+        let e = rt.get(T).unwrap();
+        assert_eq!(e.upstream(), None);
+        assert_eq!(e.downstreams().collect::<Vec<_>>(), vec![n(1)]);
+        let e2 = rt.get(T2).unwrap();
+        assert!(e2.is_rendezvous());
+        assert_eq!(e2.downstreams().collect::<Vec<_>>(), vec![n(8)]);
+        // No entry anywhere still references the crashed node.
+        for (_, e) in rt.entries() {
+            assert_ne!(e.upstream(), Some(n(3)));
+            assert!(e.downstreams().all(|d| d != n(3)));
+        }
+    }
+
+    #[test]
+    fn entries_iterates_in_topic_order() {
+        let mut rt = RelayTable::new();
+        rt.add_downstream(TopicId(9), n(1));
+        rt.add_downstream(TopicId(2), n(1));
+        rt.add_downstream(TopicId(5), n(1));
+        let order: Vec<TopicId> = rt.entries().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![TopicId(2), TopicId(5), TopicId(9)]);
     }
 }

@@ -41,7 +41,7 @@ use vitis_sim::prelude::StopReason;
 use vitis_sim::protocol::Protocol;
 use vitis_sim::rng::{domain, stream_rng};
 use vitis_sim::time::{Duration, SimTime};
-use vitis_sim::trace::{HealthProbe, TraceHandle};
+use vitis_sim::trace::{HealthProbe, TraceEvent, TraceHandle};
 
 /// The uniform driver interface over Vitis, RVR and OPT systems.
 ///
@@ -114,6 +114,20 @@ pub trait PubSub {
     /// comparison, not an allocator measurement — pair with the
     /// `perf-alloc` feature for the latter.
     fn footprint_estimate(&self) -> u64;
+
+    /// Export a dense structural snapshot of the current overlay: every
+    /// online node's per-kind links, relay entries and gateway beliefs
+    /// (see [`crate::topo`]). Nodes appear in slot order, so identical
+    /// states export identically.
+    fn overlay_snapshot(&self) -> crate::topo::OverlaySnapshot;
+
+    /// Enable (or, with `None`, disable) the periodic topology sampler:
+    /// every `every_rounds` gossip rounds the runtime snapshots the
+    /// overlay, computes [`crate::topo::probe`] and records a `topo`
+    /// record into the installed trace. Default off; a no-op while no
+    /// trace is installed. Sampling only reads protocol state — enabling
+    /// it never perturbs the simulation itself.
+    fn set_topo_sampling(&mut self, every_rounds: Option<u64>);
 }
 
 /// What a publish/subscribe design must supply to run on
@@ -178,6 +192,11 @@ pub trait PubSubProtocol: Sized {
     fn node_heap_bytes(node: &Self::Node) -> u64 {
         Self::degree(node) as u64 * 96
     }
+
+    /// Export one node's structural state (links, relay entries, gateway
+    /// beliefs) for the topology snapshot. `idx` is the node's engine
+    /// slot; `&self` gives access to shared config (e.g. the view bound).
+    fn node_topo(&self, idx: NodeIdx, node: &Self::Node) -> crate::topo::NodeTopo;
 }
 
 /// A complete network of one publish/subscribe design: engine, nodes,
@@ -197,6 +216,11 @@ pub struct SystemRuntime<P: PubSubProtocol> {
     fault_driver: FaultDriver,
     boot_rng: SmallRng,
     bootstrap_contacts: usize,
+    /// Periodic topology-sampling interval in rounds; `None` (default)
+    /// disables the sampler entirely.
+    topo_every: Option<u64>,
+    /// Next scheduled topology sample (meaningful only while enabled).
+    next_topo: SimTime,
 }
 
 impl<P: PubSubProtocol> SystemRuntime<P> {
@@ -242,6 +266,8 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
             fault_driver: FaultDriver::new(&params.faults),
             boot_rng,
             bootstrap_contacts: params.bootstrap_contacts,
+            topo_every: None,
+            next_topo: SimTime::default(),
         };
         for logical in 0..n as u32 {
             let node = sys.make_node(logical);
@@ -406,19 +432,64 @@ pub fn hybrid_rt_probe<P: PubSubProtocol>(
     )
 }
 
+/// Sampled-topic cap of the periodic topology sampler (evenly spaced
+/// over the subscribed topics; see [`crate::topo::analyze`]).
+pub const TOPO_SAMPLE_TOPICS: usize = 64;
+
 impl<P: PubSubProtocol> SystemRuntime<P> {
     /// Advance to `target`, applying scheduled crash/freeze fault actions
-    /// at their exact timestamps on the way. With an empty plan this is
-    /// exactly `engine.run_until(target)`.
+    /// and due topology samples at their exact timestamps on the way.
+    /// With an empty plan and sampling off this is exactly
+    /// `engine.run_until(target)`.
     fn advance_to(&mut self, target: SimTime) {
-        while let Some(t) = self.fault_driver.next_time() {
-            if t > target {
+        loop {
+            let next_fault = self.fault_driver.next_time().filter(|&t| t <= target);
+            let next_topo = self
+                .topo_every
+                .map(|_| self.next_topo)
+                .filter(|&t| t <= target);
+            let Some(stop) = [next_fault, next_topo].into_iter().flatten().min() else {
                 break;
+            };
+            self.engine.run_until(stop);
+            if next_fault == Some(stop) {
+                self.fault_driver.apply_due(&mut self.engine);
             }
-            self.engine.run_until(t);
-            self.fault_driver.apply_due(&mut self.engine);
+            if next_topo == Some(stop) {
+                self.record_topo_sample();
+                let every = self.topo_every.expect("sampling enabled");
+                self.next_topo = stop + Duration(self.engine.round_period().ticks() * every);
+            }
         }
         self.engine.run_until(target);
+    }
+
+    /// Snapshot every online node's structural state, in slot order.
+    fn snapshot_topology(&self) -> crate::topo::OverlaySnapshot {
+        crate::topo::OverlaySnapshot {
+            now: self.engine.now().0,
+            num_slots: self.engine.num_slots(),
+            nodes: self
+                .engine
+                .alive_nodes()
+                .map(|(idx, node)| self.protocol.node_topo(idx, node))
+                .collect(),
+        }
+    }
+
+    /// One sampler firing: snapshot, analyze + audit, record a `topo`
+    /// trace record. A no-op without an installed trace.
+    fn record_topo_sample(&self) {
+        let Some(trace) = self.engine.trace_handle() else {
+            return;
+        };
+        let snap = self.snapshot_topology();
+        let probe = crate::topo::probe(&snap, TOPO_SAMPLE_TOPICS);
+        let now = self.engine.now().0;
+        let round = now / self.engine.round_period().ticks().max(1);
+        trace
+            .borrow_mut()
+            .record(TraceEvent::TopoSample { round, now, probe });
     }
 }
 
@@ -522,6 +593,18 @@ impl<P: PubSubProtocol> PubSub for SystemRuntime<P> {
             .alive_nodes()
             .map(|(_, n)| fixed + P::node_heap_bytes(n))
             .sum()
+    }
+
+    fn overlay_snapshot(&self) -> crate::topo::OverlaySnapshot {
+        self.snapshot_topology()
+    }
+
+    fn set_topo_sampling(&mut self, every_rounds: Option<u64>) {
+        self.topo_every = every_rounds;
+        if let Some(every) = every_rounds {
+            self.next_topo =
+                self.engine.now() + Duration(self.engine.round_period().ticks() * every);
+        }
     }
 
     fn health_probe(&self) -> HealthProbe {

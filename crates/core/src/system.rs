@@ -14,6 +14,7 @@ use crate::msg::VitisMsg;
 use crate::node::VitisNode;
 use crate::runtime::{hybrid_rt_probe, PubSubProtocol, SystemRuntime};
 use crate::topic::{RateTable, Subs, TopicId, TopicSet};
+use crate::topo::{NodeTopo, RelayTopo, TopoLink};
 use rand::Rng;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -290,6 +291,41 @@ impl PubSubProtocol for VitisProtocol {
     fn structure_probe(rt: &SystemRuntime<Self>) -> (Option<f64>, Option<f64>) {
         let (ring, age) = hybrid_rt_probe(rt, |n| n.routing_table());
         (Some(ring), age)
+    }
+
+    fn node_topo(&self, idx: NodeIdx, node: &VitisNode) -> NodeTopo {
+        NodeTopo {
+            node: idx,
+            ring_id: node.ring_id(),
+            subs: node.subscriptions().iter().collect(),
+            links: node
+                .routing_table()
+                .iter_kinds()
+                .map(|(kind, e)| TopoLink {
+                    peer: e.addr,
+                    kind: kind.as_str(),
+                    age: Some(e.age),
+                })
+                .collect(),
+            relays: node
+                .relay_table()
+                .entries()
+                .map(|(topic, e)| RelayTopo {
+                    topic,
+                    upstream: e.upstream(),
+                    upstream_age: e.upstream_age(),
+                    downstream: e.downstreams().collect(),
+                    rendezvous: e.is_rendezvous(),
+                })
+                .collect(),
+            gateway_view: node
+                .subscriptions()
+                .iter()
+                .filter_map(|t| node.proposal(t).map(|p| (t, p.gw_addr)))
+                .collect(),
+            view_bound: Some(self.cfg.rt_size),
+            relay_ttl: Some(self.cfg.relay_ttl),
+        }
     }
 }
 

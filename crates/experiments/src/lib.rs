@@ -16,6 +16,7 @@
 //! | [`ablations`] | A1 gateway election, A2 utility ranking, A3 sw links |
 //! | [`clusters`] | supplementary cluster-structure diagnostic (Figs. 1–2) |
 //! | [`resilience`] | fault-episode severity sweep (hit ratio + reconvergence) |
+//! | [`topology`] | overlay structural-health telemetry + invariant audit |
 //!
 //! Sweep points are embarrassingly parallel; each builds its own
 //! single-threaded simulation, and Rayon fans the points out across cores.
@@ -44,6 +45,7 @@ pub mod resilience;
 pub mod runner;
 pub mod scale;
 pub mod scalebench;
+pub mod topology;
 
 pub use report::{Figure, Series};
 pub use scale::Scale;

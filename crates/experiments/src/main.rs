@@ -5,6 +5,8 @@
 //!                   [--metrics-out FILE] [--trace-out FILE]
 //!                   [--trace-capacity N] [--perf-out FILE]
 //! vitis-experiments analyze TRACE.jsonl [--dot FILE.dot]
+//! vitis-experiments topology [--nodes N] [--seed S] [--system vitis|rvr|opt]
+//!                   [--rounds R] [--every K] [--out FILE] [--dot FILE] [--strict]
 //! vitis-experiments scale [--max-nodes N] [--seed S] [--out BENCH.json]
 //!                   [--perf-out FILE] [--trace-out FILE]
 //!
@@ -38,6 +40,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("scale") {
         return run_scale(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("topology") {
+        return run_topology(&args[1..]);
     }
     let mut figures: Vec<String> = Vec::new();
     let mut nodes: Option<usize> = None;
@@ -185,6 +190,12 @@ fn report_sinks() {
     }
     if let Some((path, lines)) = Obs::global().trace_file_status() {
         eprintln!("wrote {lines} event-trace records to {path}");
+    }
+    if let Some((runs, evicted)) = Obs::global().trace_overflow_status() {
+        eprintln!(
+            "warning: trace ring overflowed in {runs} run(s), {evicted} events \
+             evicted in total (raise --trace-capacity)"
+        );
     }
 }
 
@@ -378,6 +389,106 @@ fn run_resilience(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `topology` subcommand: sample overlay structural health over a
+/// fixed-seed run, audit relay-path invariants at the end, and export
+/// the series as topology JSONL plus an optional Graphviz DOT of the
+/// final overlay. `--strict` exits nonzero on any invariant violation
+/// (the CI gate).
+fn run_topology(args: &[String]) -> ExitCode {
+    use vitis_experiments::topology::{self, SystemKind, TopologyOpts};
+    let mut nodes: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut preset: Option<&str> = None;
+    let mut opts = TopologyOpts::default();
+    let mut out: Option<String> = None;
+    let mut dot: Option<String> = None;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => nodes = Some(n),
+                None => return usage("--nodes needs an integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--system" => match it.next().and_then(|v| SystemKind::parse(v)) {
+                Some(s) => opts.system = s,
+                None => return usage("--system needs one of: vitis rvr opt"),
+            },
+            "--rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => opts.rounds = r,
+                None => return usage("--rounds needs an integer"),
+            },
+            "--every" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(k) if k > 0 => opts.every = k,
+                _ => return usage("--every needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage("--out needs a file path"),
+            },
+            "--dot" => match it.next() {
+                Some(p) => dot = Some(p.clone()),
+                None => return usage("--dot needs a file path"),
+            },
+            "--strict" => strict = true,
+            "--paper" => preset = Some("paper"),
+            "--quick" => preset = Some("quick"),
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let mut scale = match preset {
+        Some("paper") => Scale::paper(),
+        Some("quick") => Scale::quick(),
+        _ => Scale::default_run(),
+    };
+    if let Some(n) = nodes {
+        scale = Scale::proportional(n, seed);
+    }
+    scale.seed = seed;
+    println!(
+        "# Vitis topology telemetry — {} @ {} nodes, seed {}, {} rounds sampled every {}\n",
+        opts.system.as_str(),
+        scale.nodes,
+        scale.seed,
+        opts.rounds,
+        opts.every
+    );
+    let run = topology::run(&scale, &opts);
+    if let Some(path) = &out {
+        let mut text = String::with_capacity(run.jsonl.iter().map(|l| l.len() + 1).sum());
+        for line in &run.jsonl {
+            text.push_str(line);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote {} topology records to {path}", run.jsonl.len());
+    }
+    if let Some(path) = &dot {
+        if let Err(e) = std::fs::write(path, &run.dot) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote overlay graph to {path}");
+    }
+    print!("{}", run.summary);
+    if strict && !run.violations.is_empty() {
+        eprintln!(
+            "error: --strict and the final audit found {} violation(s)",
+            run.violations.len()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `analyze` subcommand: offline delivery forensics over a
 /// `--trace-out` dump (report to stdout, optional Graphviz export).
 fn run_analyze(args: &[String]) -> ExitCode {
@@ -429,6 +540,11 @@ fn usage(err: &str) -> ExitCode {
          \n\
          \tvitis-experiments resilience [--nodes N] [--seed S] [--quick | --paper] [--metrics-out FILE.jsonl]\n\
          \t(partition-severity sweep: hit ratio during the episode + reconvergence time after heal)\n\
+         \n\
+         \tvitis-experiments topology [--nodes N] [--seed S] [--system vitis|rvr|opt]\n\
+         \t\t[--rounds R] [--every K] [--out TOPO.jsonl] [--dot FILE.dot] [--strict]\n\
+         \t(overlay structural-health series + invariant audit; topo schema in docs/METRICS.md §10;\n\
+         \t --strict exits nonzero on any audit violation)\n\
          \n\
          \tvitis-experiments scale [--max-nodes N] [--seed S] [--out BENCH.json]\n\
          \t\t[--perf-out FILE.jsonl] [--trace-out FILE.jsonl]\n\

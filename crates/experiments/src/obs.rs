@@ -109,6 +109,8 @@ pub struct Obs {
     trace_on: AtomicBool,
     trace_capacity: AtomicUsize,
     run_counter: AtomicU64,
+    overflow_runs: AtomicU64,
+    overflow_evicted: AtomicU64,
     metrics_sink: Mutex<SinkStore>,
     trace_sink: Mutex<SinkStore>,
 }
@@ -118,6 +120,8 @@ static GLOBAL: Obs = Obs {
     trace_on: AtomicBool::new(false),
     trace_capacity: AtomicUsize::new(TRACE_CAPACITY),
     run_counter: AtomicU64::new(0),
+    overflow_runs: AtomicU64::new(0),
+    overflow_evicted: AtomicU64::new(0),
     metrics_sink: Mutex::new(SinkStore::Mem(Vec::new())),
     trace_sink: Mutex::new(SinkStore::Mem(Vec::new())),
 };
@@ -227,6 +231,22 @@ impl Obs {
     /// health records) through the same sink as run metrics.
     pub fn push_metrics_lines<I: IntoIterator<Item = String>>(&self, lines: I) {
         self.metrics_sink.lock().expect("obs lock").push_batch(lines);
+    }
+
+    /// Account one run whose trace ring overflowed. Returns true only for
+    /// the first overflowed run of the process — the caller prints the
+    /// detailed warning then, and every later overflow stays silent until
+    /// the [`Obs::trace_overflow_status`] summary at exit.
+    pub fn note_trace_overflow(&self, evicted: u64) -> bool {
+        self.overflow_evicted.fetch_add(evicted, Ordering::Relaxed);
+        self.overflow_runs.fetch_add(1, Ordering::Relaxed) == 0
+    }
+
+    /// `(overflowed runs, events evicted in total)` across the process,
+    /// or `None` if no trace ever overflowed.
+    pub fn trace_overflow_status(&self) -> Option<(u64, u64)> {
+        let runs = self.overflow_runs.load(Ordering::Relaxed);
+        (runs > 0).then(|| (runs, self.overflow_evicted.load(Ordering::Relaxed)))
     }
 }
 
@@ -366,10 +386,14 @@ impl RunCtx {
         }
         if let Some(t) = &self.trace {
             let t = t.borrow();
-            if t.evicted() > 0 {
+            // Rate-limited: the first overflowed run prints the full
+            // warning, later ones only feed the exit summary (the
+            // per-run trace_meta record still carries exact counts).
+            if t.evicted() > 0 && self.obs.note_trace_overflow(t.evicted()) {
                 eprintln!(
                     "warning: trace for {} overflowed: {} of {} events evicted \
-                     (raise --trace-capacity; see the trace_meta record)",
+                     (raise --trace-capacity; see the trace_meta record; \
+                     later overflows are summarized at exit)",
                     self.run,
                     t.evicted(),
                     t.total_recorded()
@@ -389,7 +413,7 @@ impl RunCtx {
 }
 
 /// Prefix a rendered trace-event object with a `"run"` field.
-fn stamp_run(run: &str, event_json: &str) -> String {
+pub(crate) fn stamp_run(run: &str, event_json: &str) -> String {
     let mut out = String::with_capacity(event_json.len() + run.len() + 10);
     out.push_str("{\"run\":");
     push_json_str(&mut out, run);
@@ -597,6 +621,26 @@ mod tests {
         // File mode has nothing to drain; records are already on disk.
         assert!(sink.take().is_empty());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overflow_warning_fires_once_and_accumulates() {
+        // Use a private Obs so the process-global counters stay clean.
+        let obs = Obs {
+            metrics_on: AtomicBool::new(false),
+            trace_on: AtomicBool::new(false),
+            trace_capacity: AtomicUsize::new(TRACE_CAPACITY),
+            run_counter: AtomicU64::new(0),
+            overflow_runs: AtomicU64::new(0),
+            overflow_evicted: AtomicU64::new(0),
+            metrics_sink: Mutex::new(SinkStore::Mem(Vec::new())),
+            trace_sink: Mutex::new(SinkStore::Mem(Vec::new())),
+        };
+        assert_eq!(obs.trace_overflow_status(), None);
+        assert!(obs.note_trace_overflow(10)); // first run warns
+        assert!(!obs.note_trace_overflow(5)); // later runs stay silent
+        assert!(!obs.note_trace_overflow(1));
+        assert_eq!(obs.trace_overflow_status(), Some((3, 16)));
     }
 
     #[test]

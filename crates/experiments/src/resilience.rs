@@ -17,11 +17,14 @@ use crate::runner::synthetic_params;
 use crate::scale::Scale;
 use rayon::prelude::*;
 use vitis::monitor::ReconvergenceTracker;
+use vitis::runtime::TOPO_SAMPLE_TOPICS;
 use vitis::system::{PubSub, SystemParams, VitisSystem};
 use vitis::topic::TopicId;
+use vitis::topo::{probe, TopoProbe};
 use vitis_baselines::{OptSystem, RvrSystem};
 use vitis_sim::fault::{FaultEpisode, FaultPlan, Span};
 use vitis_sim::time::SimTime;
+use vitis_sim::trace::{event_to_json, TraceEvent};
 use vitis_workloads::Correlation;
 
 /// Timeline and sweep parameters, all in rounds (tick spans derive from
@@ -103,49 +106,93 @@ pub struct ResilienceOutcome {
     pub recovery_rounds: Option<f64>,
 }
 
+/// Per-round overlay-health series of one resilience run: structural
+/// probes ([`vitis::topo::probe`]) taken after every window round, in
+/// the `topo` record schema of docs/METRICS.md §10. Correlates the
+/// hit-ratio collapse during a partition with the structural decay that
+/// causes it (fragmenting components, aging views, dangling relays).
+pub struct TopoTrack {
+    enabled: bool,
+    period: u64,
+    /// `(round, now, probe)` samples in round order.
+    pub samples: Vec<(u64, u64, TopoProbe)>,
+}
+
+impl TopoTrack {
+    /// A collector; when `enabled` is false, [`TopoTrack::sample`] is
+    /// free, so the sweep only pays for snapshots when the metrics sink
+    /// wants the series (or a test collects it directly).
+    pub fn new(enabled: bool, round_period: u64) -> Self {
+        TopoTrack {
+            enabled,
+            period: round_period.max(1),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Snapshot and probe the overlay now (a no-op when disabled).
+    pub fn sample(&mut self, sys: &dyn PubSub) {
+        if !self.enabled {
+            return;
+        }
+        let snap = sys.overlay_snapshot();
+        let now = snap.now;
+        self.samples
+            .push((now / self.period, now, probe(&snap, TOPO_SAMPLE_TOPICS)));
+    }
+}
+
 /// One measurement window: publish the batch round-robin over topics,
-/// run the window, return the window's hit ratio.
+/// run the window round by round (probing overlay health after each),
+/// return the window's hit ratio.
 fn window_hit(
     sys: &mut dyn PubSub,
     plan: &ResiliencePlan,
     topics: usize,
     topic_cursor: &mut u32,
+    topo: &mut TopoTrack,
 ) -> f64 {
     sys.reset_metrics();
     for _ in 0..plan.events_per_window {
         sys.publish(TopicId(*topic_cursor));
         *topic_cursor = (*topic_cursor + 1) % topics as u32;
     }
-    sys.run_rounds(plan.window_rounds);
+    for _ in 0..plan.window_rounds {
+        sys.run_rounds(1);
+        topo.sample(sys);
+    }
     sys.stats().hit_ratio
 }
 
 /// Drive one already-constructed system (whose params carry the matching
-/// [`FaultPlan`]) through the timeline.
+/// [`FaultPlan`]) through the timeline, feeding per-round overlay-health
+/// probes into `topo`.
 pub fn run_system(
     sys: &mut dyn PubSub,
     plan: &ResiliencePlan,
     scale: &Scale,
     severity: f64,
     round_period: u64,
+    topo: &mut TopoTrack,
 ) -> ResilienceOutcome {
     let mut cursor = 0u32;
     sys.run_rounds(plan.warmup_rounds);
+    topo.sample(sys); // pre-fault structural baseline
     let mut baseline = 0.0;
     for _ in 0..plan.baseline_windows {
-        baseline += window_hit(sys, plan, scale.topics, &mut cursor);
+        baseline += window_hit(sys, plan, scale.topics, &mut cursor, topo);
     }
     baseline /= plan.baseline_windows.max(1) as f64;
     let mut episode = 0.0;
     for _ in 0..plan.episode_windows {
-        episode += window_hit(sys, plan, scale.topics, &mut cursor);
+        episode += window_hit(sys, plan, scale.topics, &mut cursor, topo);
     }
     episode /= plan.episode_windows.max(1) as f64;
     let heal = SimTime(plan.episode_end_tick(round_period));
     let mut tracker = ReconvergenceTracker::new(baseline, heal, plan.tolerance);
     let mut last = episode;
     for _ in 0..plan.recovery_windows {
-        last = window_hit(sys, plan, scale.topics, &mut cursor);
+        last = window_hit(sys, plan, scale.topics, &mut cursor, topo);
         tracker.observe(sys.now(), last);
         if tracker.recovered() {
             break;
@@ -187,8 +234,20 @@ pub fn run_point(
         _ => Box::new(OptSystem::new(params)),
     };
     ctx.phase("build");
-    let outcome = run_system(sys.as_mut(), plan, scale, severity, period);
+    let mut topo = TopoTrack::new(Obs::global().metrics_on(), period);
+    let outcome = run_system(sys.as_mut(), plan, scale, severity, period, &mut topo);
     ctx.phase("run");
+    if !topo.samples.is_empty() {
+        // The overlay-health series goes through the metrics sink (the
+        // resilience sweep runs without a trace sink), one stamped
+        // `topo` record per sampled round.
+        Obs::global().push_metrics_lines(topo.samples.iter().map(|&(round, now, probe)| {
+            crate::obs::stamp_run(
+                &ctx.run,
+                &event_to_json(&TraceEvent::TopoSample { round, now, probe }),
+            )
+        }));
+    }
     let stats = sys.stats();
     ctx.record_perf(sys.perf_counters(), sys.footprint_estimate());
     ctx.finish(scale, &stats);
@@ -300,6 +359,77 @@ mod tests {
                 o.baseline_hit
             );
         }
+    }
+
+    /// The overlay-health series must show structural decay while the
+    /// partition is up and recovery after it heals — the correlate of
+    /// the hit-ratio dip the sweep reports.
+    #[test]
+    fn overlay_health_series_shows_fragmentation_and_recovery() {
+        let mut sc = Scale::proportional(150, 19);
+        sc.warmup_rounds = 25;
+        let plan = ResiliencePlan::for_scale(&sc);
+        let severity = 0.4;
+        let mut params = synthetic_params(&sc, Correlation::Low);
+        let period = params.round_period.ticks();
+        params.faults = plan.fault_plan(severity, sc.nodes, period);
+        let mut sys = VitisSystem::new(params);
+        let mut topo = TopoTrack::new(true, period);
+        run_system(&mut sys, &plan, &sc, severity, period, &mut topo);
+        for _ in 0..4 {
+            sys.run_rounds(3);
+            topo.sample(&sys);
+        }
+
+        let ep_start = plan.warmup_rounds + plan.baseline_windows * plan.window_rounds;
+        let ep_end = ep_start + plan.episode_windows * plan.window_rounds;
+        assert!(topo.samples.windows(2).all(|w| w[0].0 < w[1].0));
+        let age = |s: &(u64, u64, TopoProbe)| s.2.mean_view_age.unwrap_or(0.0);
+        let pre: Vec<_> = topo.samples.iter().filter(|s| s.0 <= ep_start).collect();
+        let during: Vec<_> = topo
+            .samples
+            .iter()
+            .filter(|s| s.0 > ep_start && s.0 <= ep_end)
+            .collect();
+        let after: Vec<_> = topo.samples.iter().filter(|s| s.0 > ep_end).collect();
+        assert!(!pre.is_empty() && !during.is_empty() && !after.is_empty());
+
+        // Gossip-layer decay: views starve while the partition blocks
+        // refreshes, so the mean view age spikes during the episode...
+        let pre_age = pre.iter().map(|s| age(s)).fold(0.0, f64::max);
+        let ep_age = during.iter().map(|s| age(s)).fold(0.0, f64::max);
+        assert!(
+            ep_age > 1.5 * pre_age,
+            "no view-age decay: episode {ep_age} vs pre-fault {pre_age}"
+        );
+        // ...and returns to the pre-fault regime after the heal.
+        let final_age = age(after.last().unwrap());
+        assert!(
+            final_age < 1.5 * pre_age,
+            "view age did not recover: {final_age} vs pre-fault {pre_age}"
+        );
+
+        // Relay-layer decay: backlinks expire (relay_ttl) while locally
+        // refreshed upstream beliefs persist, so dangling-relay audit
+        // violations surge through the episode and the repair churn just
+        // after the heal, then clear as refreshes re-install both ends.
+        let pre_viol = pre.iter().map(|s| s.2.violations).max().unwrap();
+        let decay_viol = topo
+            .samples
+            .iter()
+            .filter(|s| s.0 > ep_start)
+            .map(|s| s.2.violations)
+            .max()
+            .unwrap();
+        assert!(
+            decay_viol > 3 * pre_viol.max(1),
+            "no relay decay: peak {decay_viol} vs pre-fault {pre_viol}"
+        );
+        let final_viol = after.last().unwrap().2.violations;
+        assert!(
+            final_viol < decay_viol / 4,
+            "relay damage did not heal: {final_viol} vs peak {decay_viol}"
+        );
     }
 
     #[test]

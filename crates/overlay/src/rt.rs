@@ -52,6 +52,18 @@ pub enum LinkKind {
     Friend,
 }
 
+impl LinkKind {
+    /// Stable lowercase label, used by telemetry exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkKind::Successor => "succ",
+            LinkKind::Predecessor => "pred",
+            LinkKind::SmallWorld => "sw",
+            LinkKind::Friend => "friend",
+        }
+    }
+}
+
 /// A bounded hybrid routing table.
 #[derive(Clone, Debug, Default)]
 pub struct HybridRt<P> {
@@ -102,6 +114,21 @@ impl<P: Clone> HybridRt<P> {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of entries of one [`LinkKind`].
+    pub fn count_kind(&self, kind: LinkKind) -> usize {
+        match kind {
+            LinkKind::Successor => self.succ.is_some() as usize,
+            LinkKind::Predecessor => self.pred.is_some() as usize,
+            LinkKind::SmallWorld => self.sw.len(),
+            LinkKind::Friend => self.friends.len(),
+        }
+    }
+
+    /// Age of the stalest entry, if the table is non-empty.
+    pub fn max_age(&self) -> Option<u16> {
+        self.iter().map(|e| e.age).max()
     }
 
     /// Whether `addr` appears anywhere in the table.
@@ -398,6 +425,26 @@ mod tests {
         assert_eq!(rt.len(), 1);
         assert!(rt.contains(keep));
         assert!(!rt.refresh(NodeIdx(1234), 0.0));
+    }
+
+    #[test]
+    fn per_kind_counts_and_max_age() {
+        let mut rt: HybridRt<f64> = HybridRt::new();
+        assert_eq!(rt.max_age(), None);
+        rt.succ = Some(e(1, 10, 0.0));
+        rt.sw.push(e(2, 20, 0.0));
+        rt.sw.push(e(3, 30, 0.0));
+        rt.friends.push(e(4, 40, 0.0));
+        assert_eq!(rt.count_kind(LinkKind::Successor), 1);
+        assert_eq!(rt.count_kind(LinkKind::Predecessor), 0);
+        assert_eq!(rt.count_kind(LinkKind::SmallWorld), 2);
+        assert_eq!(rt.count_kind(LinkKind::Friend), 1);
+        assert_eq!(rt.max_age(), Some(0));
+        rt.age_all();
+        rt.sw[1].age = 7;
+        assert_eq!(rt.max_age(), Some(7));
+        assert_eq!(LinkKind::SmallWorld.as_str(), "sw");
+        assert_eq!(LinkKind::Friend.as_str(), "friend");
     }
 
     #[test]

@@ -185,6 +185,44 @@ pub struct HealthProbe {
     pub largest_cluster: Option<u64>,
 }
 
+/// One structural overlay-topology sample, filled by a system-level
+/// snapshot analysis (see the core crate's `topo` module). Fields a
+/// system cannot measure stay `None` and export as JSON `null`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TopoProbe {
+    /// Online nodes in the snapshot.
+    pub nodes: u64,
+    /// Directed overlay links between online nodes.
+    pub links: u64,
+    /// Topics included in the per-topic connectivity analysis.
+    pub sampled_topics: u64,
+    /// Subscriber components over overlay links, summed over sampled
+    /// topics (the fragmentation the relay layer must stitch).
+    pub components: u64,
+    /// Subscriber components once relay-path edges are added; equals
+    /// `sampled_topics` when every topic is fully stitched.
+    pub stitched_components: u64,
+    /// Mean fraction of a topic's subscribers inside its largest
+    /// stitched component (1.0 = perfect connectivity).
+    pub largest_component_frac: f64,
+    /// Topics with two or more rendezvous claimants.
+    pub rendezvous_conflicts: u64,
+    /// Topics holding relay state but no rendezvous claimant.
+    pub headless_topics: u64,
+    /// Relay links referencing nodes absent from the snapshot.
+    pub dead_links: u64,
+    /// Mean relay-path hop count over sampled upstream chains divided by
+    /// the overlay-graph BFS distance (`None` when nothing was sampled).
+    pub mean_relay_stretch: Option<f64>,
+    /// Largest number of topics any single node serves as gateway for.
+    pub max_gateway_load: u64,
+    /// Mean gossip age over routing-table links (`None` where ages are
+    /// not tracked).
+    pub mean_view_age: Option<f64>,
+    /// Invariant-audit violations found in the snapshot.
+    pub violations: u64,
+}
+
 /// A typed trace record. Engine-emitted variants (`Join`, `Leave`,
 /// `MsgSend`, `MsgDeliver`) carry node slots and simulated time in raw
 /// ticks; harness-emitted variants add round boundaries, convergence
@@ -351,6 +389,15 @@ pub enum TraceEvent {
         node: u32,
         /// Stable snake_case drop-reason name (e.g. `"no_gateway"`).
         reason: Cow<'static, str>,
+    },
+    /// A periodic structural overlay-topology sample (see [`TopoProbe`]).
+    TopoSample {
+        /// Measured round number at sample time (0 when unknown).
+        round: u64,
+        /// Simulated time in ticks.
+        now: u64,
+        /// The topology sample.
+        probe: TopoProbe,
     },
     /// Ring-buffer accounting for a run's trace, written by the export
     /// harness so truncation is detectable offline.
@@ -685,6 +732,27 @@ pub fn write_event(out: &mut String, ev: &TraceEvent) {
             );
             push_json_str(out, reason);
             out.push('}');
+        }
+        TraceEvent::TopoSample { round, now, probe } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"topo\",\"round\":{round},\"now\":{now},\"nodes\":{},\"links\":{},\"sampled_topics\":{},\"components\":{},\"stitched_components\":{},\"largest_component_frac\":",
+                probe.nodes,
+                probe.links,
+                probe.sampled_topics,
+                probe.components,
+                probe.stitched_components,
+            );
+            push_f64(out, probe.largest_component_frac);
+            let _ = write!(
+                out,
+                ",\"rendezvous_conflicts\":{},\"headless_topics\":{},\"dead_links\":{},\"mean_relay_stretch\":",
+                probe.rendezvous_conflicts, probe.headless_topics, probe.dead_links,
+            );
+            push_opt_f64(out, probe.mean_relay_stretch);
+            let _ = write!(out, ",\"max_gateway_load\":{},\"mean_view_age\":", probe.max_gateway_load);
+            push_opt_f64(out, probe.mean_view_age);
+            let _ = write!(out, ",\"violations\":{}}}", probe.violations);
         }
         TraceEvent::TraceMeta {
             capacity,
@@ -1028,6 +1096,25 @@ fn event_from_fields(fields: &[(String, JsonValue)]) -> Result<TraceEvent, Parse
             node: req_u32(fields, "node")?,
             reason: Cow::Owned(req_str(fields, "reason")?.to_string()),
         }),
+        "topo" => Ok(TraceEvent::TopoSample {
+            round: req_u64(fields, "round")?,
+            now: req_u64(fields, "now")?,
+            probe: TopoProbe {
+                nodes: req_u64(fields, "nodes")?,
+                links: req_u64(fields, "links")?,
+                sampled_topics: req_u64(fields, "sampled_topics")?,
+                components: req_u64(fields, "components")?,
+                stitched_components: req_u64(fields, "stitched_components")?,
+                largest_component_frac: req_f64(fields, "largest_component_frac")?,
+                rendezvous_conflicts: req_u64(fields, "rendezvous_conflicts")?,
+                headless_topics: req_u64(fields, "headless_topics")?,
+                dead_links: req_u64(fields, "dead_links")?,
+                mean_relay_stretch: req_opt_f64(fields, "mean_relay_stretch")?,
+                max_gateway_load: req_u64(fields, "max_gateway_load")?,
+                mean_view_age: req_opt_f64(fields, "mean_view_age")?,
+                violations: req_u64(fields, "violations")?,
+            },
+        }),
         "trace_meta" => Ok(TraceEvent::TraceMeta {
             capacity: req_u64(fields, "capacity")?,
             recorded: req_u64(fields, "recorded")?,
@@ -1168,6 +1255,44 @@ mod tests {
                 event: 7,
                 node: 88,
                 reason: Cow::Borrowed("no_gateway"),
+            },
+            TraceEvent::TopoSample {
+                round: 6,
+                now: 384,
+                probe: TopoProbe {
+                    nodes: 400,
+                    links: 5600,
+                    sampled_topics: 32,
+                    components: 41,
+                    stitched_components: 32,
+                    largest_component_frac: 0.96875,
+                    rendezvous_conflicts: 1,
+                    headless_topics: 0,
+                    dead_links: 2,
+                    mean_relay_stretch: Some(1.25),
+                    max_gateway_load: 5,
+                    mean_view_age: Some(1.5),
+                    violations: 3,
+                },
+            },
+            TraceEvent::TopoSample {
+                round: 0,
+                now: 400,
+                probe: TopoProbe {
+                    nodes: 10,
+                    links: 40,
+                    sampled_topics: 0,
+                    components: 0,
+                    stitched_components: 0,
+                    largest_component_frac: 0.0,
+                    rendezvous_conflicts: 0,
+                    headless_topics: 0,
+                    dead_links: 0,
+                    mean_relay_stretch: None,
+                    max_gateway_load: 0,
+                    mean_view_age: None,
+                    violations: 0,
+                },
             },
             TraceEvent::TraceMeta {
                 capacity: 65536,
