@@ -11,14 +11,15 @@
 //! (Figure 11).
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::rc::Rc;
+use vitis::smallmap::SmallMap;
+use std::sync::Arc;
 use vitis::monitor::{EventId, HopPath, Monitor};
 use vitis::topic::{Subs, TopicId};
 use vitis_overlay::entry::Entry;
 use vitis_overlay::id::Id;
 use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::{Context, MsgTag, Protocol, StopReason};
+use vitis_sim::prelude::{Context, MsgTag, ParallelProtocol, Protocol, StopReason};
 
 /// OPT node configuration.
 #[derive(Clone, Debug)]
@@ -91,13 +92,13 @@ struct Link {
 
 /// An OPT peer.
 pub struct OptNode {
-    cfg: Rc<OptConfig>,
+    cfg: Arc<OptConfig>,
     monitor: Monitor,
     addr: NodeIdx,
     id: Id,
     subs: Subs,
     sampling: Newscast<Subs>,
-    links: BTreeMap<NodeIdx, Link>,
+    links: SmallMap<NodeIdx, Link>,
     /// Requests in flight this round (counted against the degree bound so
     /// bursts cannot overshoot it).
     pending: BTreeSet<NodeIdx>,
@@ -111,7 +112,7 @@ impl OptNode {
     pub fn new(
         id: Id,
         subs: Subs,
-        cfg: Rc<OptConfig>,
+        cfg: Arc<OptConfig>,
         monitor: Monitor,
         bootstrap: Vec<Entry<Subs>>,
     ) -> Self {
@@ -123,7 +124,7 @@ impl OptNode {
             id,
             subs,
             sampling,
-            links: BTreeMap::new(),
+            links: SmallMap::new(),
             pending: BTreeSet::new(),
             bootstrap,
             seen: HashSet::new(),
@@ -246,6 +247,25 @@ impl OptNode {
                 );
             }
         }
+    }
+}
+
+/// Parallel-execution support: the shared evaluation monitor is the only
+/// shared sink; its writes buffer while deferred and replay in serial
+/// event order on the engine thread.
+impl ParallelProtocol for OptNode {
+    type Deferred = Vec<vitis::monitor::MonitorOp>;
+
+    fn set_deferred(&mut self, on: bool) {
+        self.monitor.set_deferred(on);
+    }
+
+    fn take_deferred(&mut self) -> Self::Deferred {
+        self.monitor.take_deferred()
+    }
+
+    fn apply_deferred(&mut self, ops: Self::Deferred) {
+        self.monitor.apply_ops(ops);
     }
 }
 
@@ -379,7 +399,7 @@ mod tests {
         subs_of: impl Fn(usize) -> Vec<u32>,
         cfg: OptConfig,
     ) -> (Engine<OptNode>, Monitor) {
-        let cfg = Rc::new(cfg);
+        let cfg = Arc::new(cfg);
         let monitor = Monitor::new();
         let mut eng = Engine::new(EngineConfig {
             seed: 13,
@@ -388,7 +408,7 @@ mod tests {
         });
         let mut directory: Vec<Entry<Subs>> = Vec::new();
         for i in 0..n {
-            let subs: Subs = Rc::new(TopicSet::from_iter(subs_of(i)));
+            let subs: Subs = Arc::new(TopicSet::from_iter(subs_of(i)));
             let id = Id::of_node(i as u64);
             let boot: Vec<Entry<Subs>> = directory.iter().rev().take(4).cloned().collect();
             let node = OptNode::new(id, subs.clone(), cfg.clone(), monitor.clone(), boot);

@@ -11,8 +11,9 @@
 //! non-subscriber on a path is pure relay traffic, which is exactly the
 //! overhead Vitis's clustering removes.
 
-use std::collections::{BTreeMap, HashSet};
-use std::rc::Rc;
+use std::collections::HashSet;
+use vitis::smallmap::SmallMap;
+use std::sync::Arc;
 use vitis::monitor::{EventId, HopPath, Monitor};
 use vitis::relay::RelayTable;
 use vitis::topic::{Subs, TopicId};
@@ -22,7 +23,7 @@ use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
 use vitis_overlay::routing::next_hop;
 use vitis_overlay::rt::{build_exchange_buffer, select_neighbors, HybridRt, RtParams};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::{Context, MsgTag, Protocol, StopReason};
+use vitis_sim::prelude::{Context, MsgTag, ParallelProtocol, Protocol, StopReason};
 
 /// RVR node configuration.
 #[derive(Clone, Debug)]
@@ -100,7 +101,7 @@ pub enum RvrMsg {
 
 /// An RVR peer.
 pub struct RvrNode {
-    cfg: Rc<RvrConfig>,
+    cfg: Arc<RvrConfig>,
     monitor: Monitor,
     addr: NodeIdx,
     id: Id,
@@ -114,7 +115,7 @@ pub struct RvrNode {
     seen: HashSet<EventId>,
     /// Neighbor subscription cache (from heartbeats) — used only for
     /// delivery bookkeeping, never for neighbor selection.
-    nbr_subs: BTreeMap<NodeIdx, Subs>,
+    nbr_subs: SmallMap<NodeIdx, Subs>,
 }
 
 impl RvrNode {
@@ -123,7 +124,7 @@ impl RvrNode {
     pub fn new(
         id: Id,
         subs: Subs,
-        cfg: Rc<RvrConfig>,
+        cfg: Arc<RvrConfig>,
         monitor: Monitor,
         bootstrap: Vec<Entry<Subs>>,
     ) -> Self {
@@ -139,7 +140,7 @@ impl RvrNode {
             bootstrap,
             tree: RelayTable::new(),
             seen: HashSet::new(),
-            nbr_subs: BTreeMap::new(),
+            nbr_subs: SmallMap::new(),
         }
     }
 
@@ -285,6 +286,25 @@ impl RvrNode {
     }
 }
 
+/// Parallel-execution support: the shared evaluation monitor is the only
+/// shared sink; its writes buffer while deferred and replay in serial
+/// event order on the engine thread.
+impl ParallelProtocol for RvrNode {
+    type Deferred = Vec<vitis::monitor::MonitorOp>;
+
+    fn set_deferred(&mut self, on: bool) {
+        self.monitor.set_deferred(on);
+    }
+
+    fn take_deferred(&mut self) -> Self::Deferred {
+        self.monitor.take_deferred()
+    }
+
+    fn apply_deferred(&mut self, ops: Self::Deferred) {
+        self.monitor.apply_ops(ops);
+    }
+}
+
 impl Protocol for RvrNode {
     type Msg = RvrMsg;
 
@@ -416,7 +436,7 @@ mod tests {
     use vitis_sim::time::Duration;
 
     fn build_net(n: usize, subs_of: impl Fn(usize) -> Vec<u32>) -> (Engine<RvrNode>, Monitor) {
-        let cfg = Rc::new(RvrConfig {
+        let cfg = Arc::new(RvrConfig {
             est_n: 64,
             ..RvrConfig::default()
         });
@@ -428,7 +448,7 @@ mod tests {
         });
         let mut directory: Vec<Entry<Subs>> = Vec::new();
         for i in 0..n {
-            let subs: Subs = Rc::new(TopicSet::from_iter(subs_of(i)));
+            let subs: Subs = Arc::new(TopicSet::from_iter(subs_of(i)));
             let id = Id::of_node(i as u64);
             let boot: Vec<Entry<Subs>> = directory.iter().rev().take(4).cloned().collect();
             let node = RvrNode::new(id, subs.clone(), cfg.clone(), monitor.clone(), boot);

@@ -6,7 +6,7 @@
 use crate::opt::{OptConfig, OptMsg, OptNode};
 use crate::rvr::{RvrConfig, RvrMsg, RvrNode};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use vitis::monitor::{EventId, LossReason, LossReport, MissContext, Monitor};
 use vitis::runtime::{hybrid_rt_probe, PubSubProtocol, SystemRuntime};
 use vitis::system::SystemParams;
@@ -25,7 +25,7 @@ pub type RvrSystem = SystemRuntime<RvrProtocol>;
 /// as a Vitis system; only `rt_size`, `est_n`, `age_threshold` and the
 /// sampling view are used (RVR has no friends, gateways or relay radius).
 pub struct RvrProtocol {
-    cfg: Rc<RvrConfig>,
+    cfg: Arc<RvrConfig>,
 }
 
 impl RvrProtocol {
@@ -85,7 +85,7 @@ impl PubSubProtocol for RvrProtocol {
 
     fn from_params(params: &SystemParams) -> Self {
         RvrProtocol {
-            cfg: Rc::new(RvrConfig {
+            cfg: Arc::new(RvrConfig {
                 rt_size: params.cfg.rt_size,
                 est_n: params.cfg.est_n,
                 age_threshold: params.cfg.age_threshold,
@@ -101,7 +101,7 @@ impl PubSubProtocol for RvrProtocol {
         logical: u32,
         subs: Subs,
         bootstrap: Vec<Entry<Subs>>,
-        _rates: &Rc<RateTable>,
+        _rates: &Arc<RateTable>,
         monitor: &Monitor,
     ) -> RvrNode {
         RvrNode::new(
@@ -199,7 +199,7 @@ pub type OptSystem = SystemRuntime<OptProtocol>;
 /// The OPT adapter: correlation-aware overlay-per-topic links, flooding
 /// within each topic subgraph, no structured routing at all.
 pub struct OptProtocol {
-    cfg: Rc<OptConfig>,
+    cfg: Arc<OptConfig>,
 }
 
 impl OptProtocol {
@@ -207,7 +207,7 @@ impl OptProtocol {
     /// gives the unbounded variant of Figure 11); combine with
     /// [`SystemRuntime::with_protocol`].
     pub fn with_config(cfg: OptConfig) -> Self {
-        OptProtocol { cfg: Rc::new(cfg) }
+        OptProtocol { cfg: Arc::new(cfg) }
     }
 }
 
@@ -230,7 +230,7 @@ impl PubSubProtocol for OptProtocol {
         logical: u32,
         subs: Subs,
         bootstrap: Vec<Entry<Subs>>,
-        _rates: &Rc<RateTable>,
+        _rates: &Arc<RateTable>,
         monitor: &Monitor,
     ) -> OptNode {
         OptNode::new(

@@ -6,7 +6,7 @@
 use crate::topic::{RateTable, Subs, TopicId, TopicSet};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 use vitis_sim::event::NodeIdx;
 use vitis_sim::rng::{domain, stream_rng};
 use vitis_sim::time::{Duration, SimTime};
@@ -17,7 +17,7 @@ use vitis_sim::time::{Duration, SimTime};
 pub struct Workload {
     subs: Vec<Subs>,
     topic_subscribers: Vec<Vec<u32>>,
-    rates: Rc<RateTable>,
+    rates: Arc<RateTable>,
     cum_rates: Vec<f64>,
     grace: Duration,
     rng: SmallRng,
@@ -57,7 +57,7 @@ impl Workload {
         Workload {
             subs: subscriptions,
             topic_subscribers,
-            rates: Rc::new(rates),
+            rates: Arc::new(rates),
             cum_rates,
             grace,
             rng: stream_rng(seed, domain::PUBLISH, 0),
@@ -75,7 +75,7 @@ impl Workload {
     }
 
     /// The shared rate table.
-    pub fn rates(&self) -> &Rc<RateTable> {
+    pub fn rates(&self) -> &Arc<RateTable> {
         &self.rates
     }
 
@@ -99,7 +99,7 @@ impl Workload {
             assert!((t.0 as usize) < self.topic_subscribers.len());
             self.topic_subscribers[t.0 as usize].push(logical);
         }
-        self.subs[logical as usize] = Rc::new(new_subs);
+        self.subs[logical as usize] = Arc::new(new_subs);
     }
 
     /// Draw a topic with probability proportional to its publication rate

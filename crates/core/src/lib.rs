@@ -48,6 +48,7 @@ pub mod msg;
 pub mod node;
 pub mod relay;
 pub mod runtime;
+pub mod smallmap;
 pub mod system;
 pub mod topic;
 pub mod topo;
@@ -60,7 +61,8 @@ pub mod prelude {
     pub use crate::config::{SamplingService, VitisConfig};
     pub use crate::gateway::Proposal;
     pub use crate::harness::Workload;
-    pub use crate::monitor::{EventId, Monitor, PubSubStats};
+    pub use crate::monitor::{EventId, Monitor, MonitorOp, PubSubStats};
+    pub use crate::smallmap::SmallMap;
     pub use crate::msg::{Notification, ProfileMsg, VitisMsg};
     pub use crate::node::VitisNode;
     pub use crate::runtime::{PubSubProtocol, SystemRuntime};

@@ -12,15 +12,19 @@
 //! * **Propagation delay** — hops from publisher to subscriber, averaged
 //!   over achieved deliveries.
 //!
-//! A [`Monitor`] is a cheap `Rc` handle cloned into every node of a system;
-//! the engine is single-threaded so `RefCell` suffices.
+//! A [`Monitor`] is a cheap `Arc` handle cloned into every node of a system.
+//! Under serial execution each handle applies writes immediately; under the
+//! engine's deterministic parallel executor a handle switches into *deferred*
+//! mode and buffers its writes as [`MonitorOp`]s, which the engine replays on
+//! the merge thread in exact serial event order (see
+//! `vitis_sim::protocol::ParallelProtocol`).
 
 use crate::topic::TopicId;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use vitis_sim::event::NodeIdx;
 use vitis_sim::metrics::Summary;
 use vitis_sim::time::SimTime;
@@ -32,18 +36,18 @@ pub struct EventId(pub u64);
 
 /// Causal hop-path provenance carried inside dissemination messages: the
 /// engine slots an event copy has visited, publisher first. Backed by a
-/// shared `Rc` so fanning a notification out to `k` neighbors clones a
+/// shared `Arc` so fanning a notification out to `k` neighbors clones a
 /// pointer, not the path; [`HopPath::extend`] allocates once per hop.
 ///
 /// The path is forensic metadata only — it never influences routing and
 /// does not count toward wire-size accounting (see `docs/METRICS.md` §6).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct HopPath(Rc<Vec<NodeIdx>>);
+pub struct HopPath(Arc<Vec<NodeIdx>>);
 
 impl HopPath {
     /// A path starting (and ending) at the publisher.
     pub fn origin(node: NodeIdx) -> Self {
-        HopPath(Rc::new(vec![node]))
+        HopPath(Arc::new(vec![node]))
     }
 
     /// The path with `node` appended (a copy; the original is unchanged).
@@ -51,7 +55,7 @@ impl HopPath {
         let mut v = Vec::with_capacity(self.0.len() + 1);
         v.extend_from_slice(&self.0);
         v.push(node);
-        HopPath(Rc::new(v))
+        HopPath(Arc::new(v))
     }
 
     /// Visited slots, publisher first.
@@ -362,16 +366,222 @@ impl PubSubStats {
     }
 }
 
+/// One buffered monitor write, captured while a handle is in deferred mode
+/// (parallel round execution) and replayed on the engine thread in exact
+/// serial event order. Only the *handler-side* writers are represented —
+/// harness-side operations (event registration, snapshots, loss attribution)
+/// never run inside node handlers and stay immediate.
+#[derive(Clone, Debug)]
+pub enum MonitorOp {
+    /// [`Monitor::record_control_tx`].
+    ControlTx {
+        /// Sending node.
+        node: NodeIdx,
+        /// Control-plane bytes sent.
+        bytes: u64,
+    },
+    /// [`Monitor::record_control_round`].
+    ControlRound {
+        /// Node that executed a gossip round.
+        node: NodeIdx,
+    },
+    /// [`Monitor::record_data_rx`].
+    DataRx {
+        /// Receiving node.
+        node: NodeIdx,
+        /// Whether the receiver subscribes to the message's topic.
+        useful: bool,
+    },
+    /// [`Monitor::record_forward`].
+    Forward {
+        /// Event being forwarded.
+        event: EventId,
+        /// Forwarding node.
+        from: NodeIdx,
+        /// Receiving node.
+        to: NodeIdx,
+        /// Hop count carried by the copy.
+        hop: u32,
+        /// Simulated time of the forward.
+        now: SimTime,
+    },
+    /// [`Monitor::record_delivery_traced`] (and via it
+    /// [`Monitor::record_delivery`], with an empty path).
+    DeliveryTraced {
+        /// Delivered event.
+        event: EventId,
+        /// Delivering node.
+        node: NodeIdx,
+        /// Hop count at arrival.
+        hops: u32,
+        /// Arrival time.
+        now: SimTime,
+        /// Causal hop path (cheap `Arc` clone).
+        path: HopPath,
+    },
+}
+
 /// Shared monitor handle.
-#[derive(Clone, Debug, Default)]
+///
+/// Cloning shares the underlying accounting state but gives the clone its
+/// own (empty, inactive) deferral buffer — each node's handle defers
+/// independently under parallel execution.
+#[derive(Debug, Default)]
 pub struct Monitor {
-    inner: Rc<RefCell<MonitorInner>>,
+    inner: Arc<Mutex<MonitorInner>>,
+    /// `Some` while this handle is in deferred mode: handler-side writes
+    /// are buffered here instead of applied. Per-handle, not shared.
+    deferred: RefCell<Option<Vec<MonitorOp>>>,
+}
+
+impl Clone for Monitor {
+    fn clone(&self) -> Self {
+        Monitor {
+            inner: Arc::clone(&self.inner),
+            deferred: RefCell::new(None),
+        }
+    }
 }
 
 impl Monitor {
     /// A fresh monitor.
     pub fn new() -> Self {
         Monitor::default()
+    }
+
+    /// Enter (`true`) or leave (`false`) deferred mode for *this handle*.
+    /// While on, handler-side writes buffer into the handle instead of
+    /// touching shared state; collect them with [`Monitor::take_deferred`].
+    pub fn set_deferred(&self, on: bool) {
+        let mut d = self.deferred.borrow_mut();
+        if on {
+            if d.is_none() {
+                *d = Some(Vec::new());
+            }
+        } else {
+            debug_assert!(
+                d.as_ref().is_none_or(|v| v.is_empty()),
+                "leaving deferred mode with uncollected monitor ops"
+            );
+            *d = None;
+        }
+    }
+
+    /// Take the ops buffered on this handle since the last call (empty if
+    /// not in deferred mode).
+    pub fn take_deferred(&self) -> Vec<MonitorOp> {
+        self.deferred
+            .borrow_mut()
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Replay previously buffered ops against the shared state, in order.
+    /// Called on the engine thread during the deterministic parallel merge.
+    pub fn apply_ops(&self, ops: Vec<MonitorOp>) {
+        if ops.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        for op in ops {
+            Self::apply_op(&mut inner, op);
+        }
+    }
+
+    /// Buffer `op` if this handle is deferred, else apply it immediately.
+    fn submit(&self, op: MonitorOp) {
+        if let Some(buf) = self.deferred.borrow_mut().as_mut() {
+            buf.push(op);
+            return;
+        }
+        Self::apply_op(&mut self.inner.lock().unwrap(), op);
+    }
+
+    /// The single mutation path for handler-side writes: immediate calls
+    /// and deferred replays both land here, so both orders of operations
+    /// produce identical state.
+    fn apply_op(inner: &mut MonitorInner, op: MonitorOp) {
+        match op {
+            MonitorOp::ControlTx { node, bytes } => {
+                let i = node.index();
+                if inner.control_tx_bytes.len() <= i {
+                    inner.control_tx_bytes.resize(i + 1, 0);
+                }
+                inner.control_tx_bytes[i] += bytes;
+            }
+            MonitorOp::ControlRound { node } => {
+                let i = node.index();
+                if inner.control_rounds.len() <= i {
+                    inner.control_rounds.resize(i + 1, 0);
+                }
+                inner.control_rounds[i] += 1;
+            }
+            MonitorOp::DataRx { node, useful } => {
+                let i = node.index();
+                let v = if useful {
+                    &mut inner.useful_rx
+                } else {
+                    &mut inner.relay_rx
+                };
+                if v.len() <= i {
+                    v.resize(i + 1, 0);
+                }
+                v[i] += 1;
+            }
+            MonitorOp::Forward {
+                event,
+                from,
+                to,
+                hop,
+                now,
+            } => {
+                if let Some(trace) = &inner.trace {
+                    trace.borrow_mut().record(TraceEvent::Fwd {
+                        now: now.ticks(),
+                        event: event.0,
+                        from: from.0,
+                        to: to.0,
+                        hop,
+                    });
+                }
+            }
+            MonitorOp::DeliveryTraced {
+                event,
+                node,
+                hops,
+                now,
+                path,
+            } => {
+                let Some(rec) = inner.record_of(event) else {
+                    return;
+                };
+                if rec.expected.binary_search(&node).is_err() {
+                    return;
+                }
+                let first = !rec.delivered.contains_key(&node);
+                let published_at = rec.published_at;
+                rec.delivered
+                    .entry(node)
+                    .and_modify(|(h, t)| {
+                        *h = (*h).min(hops);
+                        *t = (*t).min(now);
+                    })
+                    .or_insert((hops, now));
+                if first {
+                    if let Some(trace) = &inner.trace {
+                        trace.borrow_mut().record(TraceEvent::DeliverEvent {
+                            now: now.ticks(),
+                            event: event.0,
+                            node: node.0,
+                            hops,
+                            latency: now.since(published_at).ticks(),
+                            path: path.render(),
+                        });
+                    }
+                }
+            }
+        }
     }
 
     /// Register a published event with its ground-truth expected subscriber
@@ -385,7 +595,7 @@ impl Monitor {
     ) -> EventId {
         expected.sort_unstable();
         expected.dedup();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let id = EventId(inner.first_id + inner.events.len() as u64);
         inner.events.push(EventRecord {
             topic,
@@ -416,48 +626,27 @@ impl Monitor {
         now: SimTime,
         path: &HopPath,
     ) {
-        let mut inner = self.inner.borrow_mut();
-        let Some(rec) = inner.record_of(event) else {
-            return;
-        };
-        if rec.expected.binary_search(&node).is_err() {
-            return;
-        }
-        let first = !rec.delivered.contains_key(&node);
-        let published_at = rec.published_at;
-        rec.delivered
-            .entry(node)
-            .and_modify(|(h, t)| {
-                *h = (*h).min(hops);
-                *t = (*t).min(now);
-            })
-            .or_insert((hops, now));
-        if first {
-            if let Some(trace) = &inner.trace {
-                trace.borrow_mut().record(TraceEvent::DeliverEvent {
-                    now: now.ticks(),
-                    event: event.0,
-                    node: node.0,
-                    hops,
-                    latency: now.since(published_at).ticks(),
-                    path: path.render(),
-                });
-            }
-        }
+        self.submit(MonitorOp::DeliveryTraced {
+            event,
+            node,
+            hops,
+            now,
+            path: path.clone(),
+        });
     }
 
     /// Install (or, with `None`, remove) the forensics trace sink. Systems
     /// wire this alongside their engine trace so causal records land in
     /// the same ring buffer as transport events.
     pub fn set_trace(&self, trace: Option<TraceHandle>) {
-        self.inner.borrow_mut().trace = trace;
+        self.inner.lock().unwrap().trace = trace;
     }
 
     /// Emit the `pub_event` forensics record for a freshly registered
     /// event: the root of its delivery tree. Call right after
     /// [`Monitor::register_event`], once the publisher is known.
     pub fn trace_publish(&self, event: EventId, publisher: NodeIdx) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let Some(rec) = inner.record_of(event) else {
             return;
         };
@@ -481,16 +670,13 @@ impl Monitor {
     /// `to` carrying hop count `hop`. No-op unless a trace is installed,
     /// so protocols call it unconditionally on their forwarding paths.
     pub fn record_forward(&self, event: EventId, from: NodeIdx, to: NodeIdx, hop: u32, now: SimTime) {
-        let inner = self.inner.borrow();
-        if let Some(trace) = &inner.trace {
-            trace.borrow_mut().record(TraceEvent::Fwd {
-                now: now.ticks(),
-                event: event.0,
-                from: from.0,
-                to: to.0,
-                hop,
-            });
-        }
+        self.submit(MonitorOp::Forward {
+            event,
+            from,
+            to,
+            hop,
+            now,
+        });
     }
 
     /// Classify every missed `(event, subscriber)` pair of the current
@@ -514,7 +700,7 @@ impl Monitor {
             missing: Vec<NodeIdx>,
         }
         let (misses, trace, mut report) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock().unwrap();
             let mut misses = Vec::new();
             let mut report = LossReport::default();
             for (i, rec) in inner.events.iter().enumerate() {
@@ -568,46 +754,27 @@ impl Monitor {
     /// Account control-plane bytes sent by `node` (gossip buffers,
     /// heartbeats, relay lookups, exchange replies).
     pub fn record_control_tx(&self, node: NodeIdx, bytes: u64) {
-        let mut inner = self.inner.borrow_mut();
-        let i = node.index();
-        if inner.control_tx_bytes.len() <= i {
-            inner.control_tx_bytes.resize(i + 1, 0);
-        }
-        inner.control_tx_bytes[i] += bytes;
+        self.submit(MonitorOp::ControlTx { node, bytes });
     }
 
     /// Mark one gossip round executed at `node`; the per-round control
     /// bandwidth statistic divides recorded bytes by recorded rounds.
     pub fn record_control_round(&self, node: NodeIdx) {
-        let mut inner = self.inner.borrow_mut();
-        let i = node.index();
-        if inner.control_rounds.len() <= i {
-            inner.control_rounds.resize(i + 1, 0);
-        }
-        inner.control_rounds[i] += 1;
+        self.submit(MonitorOp::ControlRound { node });
     }
 
     /// Account one received data-plane message at `node`; `useful` is true
     /// iff the receiver is subscribed to the message's topic.
     pub fn record_data_rx(&self, node: NodeIdx, useful: bool) {
-        let mut inner = self.inner.borrow_mut();
-        let i = node.index();
-        let v = if useful {
-            &mut inner.useful_rx
-        } else {
-            &mut inner.relay_rx
-        };
-        if v.len() <= i {
-            v.resize(i + 1, 0);
-        }
-        v[i] += 1;
+        self.submit(MonitorOp::DataRx { node, useful });
     }
 
     /// Delivery latency (in ticks) is not tracked — the paper measures hops.
     /// Exposed for completeness of per-event introspection in tests.
     pub fn event_published_at(&self, event: EventId) -> Option<SimTime> {
         self.inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .record_of(event)
             .map(|r| r.published_at)
     }
@@ -615,14 +782,15 @@ impl Monitor {
     /// Expected and delivered counts of a single event.
     pub fn event_progress(&self, event: EventId) -> Option<(usize, usize)> {
         self.inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .record_of(event)
             .map(|r| (r.expected.len(), r.delivered.len()))
     }
 
     /// Aggregate metrics over everything recorded since the last reset.
     pub fn snapshot(&self) -> PubSubStats {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let mut expected = 0u64;
         let mut delivered = 0u64;
         let mut hops = Summary::new();
@@ -686,7 +854,7 @@ impl Monitor {
     /// Per-node traffic overhead in percent, for every slot that received at
     /// least `min_msgs` data-plane messages (Figure 5's distribution).
     pub fn per_node_overhead(&self, min_msgs: u64) -> Vec<(NodeIdx, f64)> {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let n = inner.useful_rx.len().max(inner.relay_rx.len());
         let mut out = Vec::new();
         for i in 0..n {
@@ -704,7 +872,7 @@ impl Monitor {
     /// `(topic, expected, delivered)`, topics in ascending order. Lets a
     /// harness find the worst-served topics (e.g. split clusters).
     pub fn per_topic_progress(&self) -> Vec<(TopicId, u64, u64)> {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let mut by_topic: std::collections::BTreeMap<TopicId, (u64, u64)> =
             std::collections::BTreeMap::new();
         for rec in &inner.events {
@@ -721,7 +889,7 @@ impl Monitor {
     /// Forget all events and traffic (end of a warmup phase, or the start
     /// of a new measurement window in the churn experiment).
     pub fn reset(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         inner.first_id += inner.events.len() as u64;
         inner.events.clear();
         inner.useful_rx.clear();

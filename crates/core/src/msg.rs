@@ -3,7 +3,7 @@
 use crate::gateway::Proposal;
 use crate::monitor::{EventId, HopPath};
 use crate::topic::{Subs, TopicId};
-use std::rc::Rc;
+use std::sync::Arc;
 use vitis_overlay::entry::Entry;
 
 /// A published-event notification as it travels the overlay. The paper
@@ -24,7 +24,7 @@ pub struct Notification {
 }
 
 /// The periodic profile/heartbeat message (Algorithm 6): the sender's
-/// subscriptions plus its current gateway proposals, shared via `Rc` so the
+/// subscriptions plus its current gateway proposals, shared via `Arc` so the
 /// per-neighbor fan-out clones are free.
 #[derive(Clone, Debug)]
 pub struct ProfileMsg {
@@ -35,7 +35,7 @@ pub struct ProfileMsg {
     /// The sender's subscription set.
     pub subs: Subs,
     /// The sender's gateway proposal per subscribed topic.
-    pub proposals: Rc<Vec<(TopicId, Proposal)>>,
+    pub proposals: Arc<Vec<(TopicId, Proposal)>>,
 }
 
 /// All messages exchanged by Vitis nodes.
@@ -147,7 +147,7 @@ mod tests {
         Entry::fresh(
             NodeIdx(1),
             Id(5),
-            Rc::new(TopicSet::from_iter(0..n_topics)),
+            Arc::new(TopicSet::from_iter(0..n_topics)),
         )
     }
 
@@ -159,8 +159,8 @@ mod tests {
         assert_eq!(wire::buffer_bytes(&buf), (14 + 40) + (14 + 80));
         let pm = ProfileMsg {
             id: Id(1),
-            subs: Rc::new(TopicSet::from_iter(0..3)),
-            proposals: Rc::new(vec![(
+            subs: Arc::new(TopicSet::from_iter(0..3)),
+            proposals: Arc::new(vec![(
                 TopicId(0),
                 Proposal::self_proposal(NodeIdx(0), Id(0)),
             )]),

@@ -10,8 +10,9 @@ use crate::msg::{wire, Notification, ProfileMsg, VitisMsg};
 use crate::relay::RelayTable;
 use crate::topic::{RateTable, Subs, TopicId};
 use crate::utility::utility;
-use std::collections::{BTreeMap, HashSet};
-use std::rc::Rc;
+use crate::smallmap::SmallMap;
+use std::collections::HashSet;
+use std::sync::Arc;
 use vitis_overlay::entry::{merge_dedup, Entry};
 use vitis_overlay::id::Id;
 use vitis_overlay::estimate::SizeEstimator;
@@ -19,7 +20,7 @@ use vitis_overlay::peer_sampling::{Cyclon, Newscast, PeerSampling};
 use vitis_overlay::routing::next_hop;
 use vitis_overlay::rt::{build_exchange_buffer, select_neighbors, HybridRt, RtParams};
 use vitis_sim::event::NodeIdx;
-use vitis_sim::prelude::{Context, MsgTag, Protocol, StopReason};
+use vitis_sim::prelude::{Context, MsgTag, ParallelProtocol, Protocol, StopReason};
 use vitis_sim::rng::mix64;
 
 /// State of a reverse link (a neighbor relationship initiated by the peer).
@@ -35,15 +36,15 @@ struct ReverseLink {
 /// or partitioned-away) gateway loses its electorate within `age_threshold`
 /// rounds instead of whenever its descriptor finally expires.
 struct NbrProposals {
-    props: Rc<Vec<(TopicId, Proposal)>>,
+    props: Arc<Vec<(TopicId, Proposal)>>,
     age: u16,
 }
 
 /// A Vitis peer. Construct with [`VitisNode::new`] and hand to the engine;
 /// the [`crate::system::VitisSystem`] wrapper does this for whole networks.
 pub struct VitisNode {
-    cfg: Rc<VitisConfig>,
-    rates: Rc<RateTable>,
+    cfg: Arc<VitisConfig>,
+    rates: Arc<RateTable>,
     monitor: Monitor,
     /// Engine address; fixed at `on_start`.
     addr: NodeIdx,
@@ -53,21 +54,21 @@ pub struct VitisNode {
     subs: Subs,
     /// Peer sampling service (Newscast by default, as in the paper's
     /// evaluation; Cyclon by configuration).
-    sampling: Box<dyn PeerSampling<Subs>>,
+    sampling: Box<dyn PeerSampling<Subs> + Send>,
     /// The bounded hybrid routing table.
     rt: HybridRt<Subs>,
     /// Bootstrap contacts consumed at `on_start`.
     bootstrap: Vec<Entry<Subs>>,
     /// Own gateway proposal per subscribed topic (recomputed each round).
-    proposals: BTreeMap<TopicId, Proposal>,
+    proposals: SmallMap<TopicId, Proposal>,
     /// Latest proposals advertised by each neighbor (routing-table or
     /// reverse), with staleness for the failover path.
-    nbr_proposals: BTreeMap<NodeIdx, NbrProposals>,
+    nbr_proposals: SmallMap<NodeIdx, NbrProposals>,
     /// Reverse links: nodes that hold *us* in their routing table, learned
     /// from their heartbeats. Overlay links are connections — flooding and
     /// gateway election must see them from both ends, or weakly-connected
     /// cluster pockets become unreachable.
-    reverse: BTreeMap<NodeIdx, ReverseLink>,
+    reverse: SmallMap<NodeIdx, ReverseLink>,
     /// Relay-path soft state.
     relays: RelayTable,
     /// Events already processed (forwarding dedup).
@@ -87,12 +88,12 @@ impl VitisNode {
     pub fn new(
         id: Id,
         subs: Subs,
-        cfg: Rc<VitisConfig>,
-        rates: Rc<RateTable>,
+        cfg: Arc<VitisConfig>,
+        rates: Arc<RateTable>,
         monitor: Monitor,
         bootstrap: Vec<Entry<Subs>>,
     ) -> Self {
-        let sampling: Box<dyn PeerSampling<Subs>> = match cfg.sampling_service {
+        let sampling: Box<dyn PeerSampling<Subs> + Send> = match cfg.sampling_service {
             SamplingService::Newscast => Box::new(Newscast::new(cfg.sampling_view)),
             SamplingService::Cyclon => Box::new(Cyclon::new(cfg.sampling_view, 6)),
         };
@@ -106,9 +107,9 @@ impl VitisNode {
             sampling,
             rt: HybridRt::new(),
             bootstrap,
-            proposals: BTreeMap::new(),
-            nbr_proposals: BTreeMap::new(),
-            reverse: BTreeMap::new(),
+            proposals: SmallMap::new(),
+            nbr_proposals: SmallMap::new(),
+            reverse: SmallMap::new(),
             relays: RelayTable::new(),
             seen: HashSet::new(),
             pending_pubs: HashSet::new(),
@@ -242,7 +243,7 @@ impl VitisNode {
     /// relay path wherever this node elects itself.
     fn update_profile(&mut self, ctx: &mut Context<'_, VitisMsg>) {
         let subs = self.subs.clone();
-        let mut new_props = BTreeMap::new();
+        let mut new_props = SmallMap::new();
         for topic in subs.iter() {
             let prop = if self.cfg.gateway_election {
                 // Interested neighbors over the *connection* set: our table
@@ -496,6 +497,26 @@ impl VitisNode {
     }
 }
 
+/// Parallel-execution support: the node's only shared sink is the
+/// evaluation [`Monitor`], whose handler-side writes buffer as
+/// [`MonitorOp`]s while deferred and replay in serial event order on the
+/// engine thread.
+impl ParallelProtocol for VitisNode {
+    type Deferred = Vec<crate::monitor::MonitorOp>;
+
+    fn set_deferred(&mut self, on: bool) {
+        self.monitor.set_deferred(on);
+    }
+
+    fn take_deferred(&mut self) -> Self::Deferred {
+        self.monitor.take_deferred()
+    }
+
+    fn apply_deferred(&mut self, ops: Self::Deferred) {
+        self.monitor.apply_ops(ops);
+    }
+}
+
 impl Protocol for VitisNode {
     type Msg = VitisMsg;
 
@@ -626,7 +647,7 @@ impl Protocol for VitisNode {
         let pm = ProfileMsg {
             id: self.id,
             subs: self.subs.clone(),
-            proposals: Rc::new(
+            proposals: Arc::new(
                 self.proposals
                     .iter()
                     .map(|(t, p)| (*t, *p))
@@ -728,8 +749,8 @@ mod tests {
         topics: usize,
         cfg: VitisConfig,
     ) -> (Engine<VitisNode>, Monitor) {
-        let cfg = Rc::new(cfg);
-        let rates = Rc::new(crate::topic::RateTable::uniform(topics));
+        let cfg = Arc::new(cfg);
+        let rates = Arc::new(crate::topic::RateTable::uniform(topics));
         let monitor = Monitor::new();
         let mut eng = Engine::new(EngineConfig {
             seed: 5,
@@ -738,7 +759,7 @@ mod tests {
         });
         let mut directory: Vec<Entry<Subs>> = Vec::new();
         for i in 0..n {
-            let subs: Subs = Rc::new(crate::topic::TopicSet::from_iter(subs_of(i)));
+            let subs: Subs = Arc::new(crate::topic::TopicSet::from_iter(subs_of(i)));
             let id = Id::of_node(i as u64);
             let boot: Vec<Entry<Subs>> = directory.iter().rev().take(4).cloned().collect();
             let node = VitisNode::new(
@@ -833,7 +854,7 @@ mod tests {
         eng.run_rounds(15);
         let victim = NodeIdx(3);
         let node = eng.node_mut(victim).unwrap();
-        node.set_subscriptions(Rc::new(crate::topic::TopicSet::from_iter([1u32])));
+        node.set_subscriptions(Arc::new(crate::topic::TopicSet::from_iter([1u32])));
         assert!(node.proposal(TopicId(0)).is_none());
         eng.run_rounds(3);
         let node = eng.node(victim).unwrap();
@@ -863,7 +884,7 @@ mod tests {
         let idxs = eng.alive_indices();
         for i in idxs {
             let node = eng.node_mut(i).unwrap();
-            node.set_subscriptions(Rc::new(crate::topic::TopicSet::new()));
+            node.set_subscriptions(Arc::new(crate::topic::TopicSet::new()));
         }
         eng.run_rounds(12);
         let holders = eng

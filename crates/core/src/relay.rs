@@ -13,7 +13,7 @@
 //! dropped — this is how the structure heals around churn.
 
 use crate::topic::TopicId;
-use std::collections::BTreeMap;
+use crate::smallmap::SmallMap;
 use vitis_sim::event::NodeIdx;
 
 /// Per-topic relay state at one node.
@@ -63,7 +63,7 @@ impl RelayEntry {
 /// All relay entries held by one node.
 #[derive(Clone, Debug, Default)]
 pub struct RelayTable {
-    entries: BTreeMap<TopicId, RelayEntry>,
+    entries: SmallMap<TopicId, RelayEntry>,
 }
 
 impl RelayTable {
@@ -75,7 +75,7 @@ impl RelayTable {
     /// Record a relay request for `topic` arriving from `from` (a gateway
     /// or an earlier path node): installs/refreshes the downstream link.
     pub fn add_downstream(&mut self, topic: TopicId, from: NodeIdx) {
-        let e = self.entries.entry(topic).or_default();
+        let e = self.entries.entry_or_default(topic);
         match e.downstream.iter_mut().find(|(n, _)| *n == from) {
             Some(link) => link.1 = 0,
             None => e.downstream.push((from, 0)),
@@ -86,7 +86,7 @@ impl RelayTable {
     /// any rendezvous claim. If the greedy next hop changed (churn moved the
     /// rendezvous), the old link is replaced.
     pub fn set_upstream(&mut self, topic: TopicId, next: NodeIdx) {
-        let e = self.entries.entry(topic).or_default();
+        let e = self.entries.entry_or_default(topic);
         e.upstream = Some((next, 0));
         e.rendezvous = false;
     }
@@ -94,7 +94,7 @@ impl RelayTable {
     /// Mark this node as the rendezvous for `topic` (lookup terminated
     /// here): no upstream exists.
     pub fn mark_rendezvous(&mut self, topic: TopicId) {
-        let e = self.entries.entry(topic).or_default();
+        let e = self.entries.entry_or_default(topic);
         e.upstream = None;
         e.rendezvous = true;
     }

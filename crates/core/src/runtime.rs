@@ -28,7 +28,7 @@ use crate::system::{cluster_probe, SystemParams};
 use crate::topic::{RateTable, Subs, TopicId, TopicSet};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use std::rc::Rc;
+use std::sync::Arc;
 use vitis_overlay::entry::Entry;
 use vitis_overlay::graph::Graph;
 use vitis_overlay::id::Id;
@@ -38,7 +38,7 @@ use vitis_sim::event::NodeIdx;
 use vitis_sim::fault::{FaultDriver, FaultedNetwork};
 use vitis_sim::network::DynNetworkModel;
 use vitis_sim::prelude::StopReason;
-use vitis_sim::protocol::Protocol;
+use vitis_sim::protocol::{ParallelProtocol, Protocol};
 use vitis_sim::rng::{domain, stream_rng};
 use vitis_sim::time::{Duration, SimTime};
 use vitis_sim::trace::{HealthProbe, TraceEvent, TraceHandle};
@@ -121,6 +121,13 @@ pub trait PubSub {
     /// states export identically.
     fn overlay_snapshot(&self) -> crate::topo::OverlaySnapshot;
 
+    /// Route round execution through the engine's deterministic parallel
+    /// executor (`true`) or the serial batched drain (`false`, the
+    /// default). Fixed-seed results are bit-identical in both modes at
+    /// any thread count; the switch trades wall-clock for cores, never
+    /// results.
+    fn set_parallel_rounds(&mut self, on: bool);
+
     /// Enable (or, with `None`, disable) the periodic topology sampler:
     /// every `every_rounds` gossip rounds the runtime snapshots the
     /// overlay, computes [`crate::topo::probe`] and records a `topo`
@@ -136,8 +143,12 @@ pub trait PubSub {
 /// publish scheduling, churn slot management, stats, tracing — lives in
 /// the runtime and is shared verbatim.
 pub trait PubSubProtocol: Sized {
-    /// The per-node protocol state machine driven by the engine.
-    type Node: Protocol;
+    /// The per-node protocol state machine driven by the engine. The
+    /// [`ParallelProtocol`] bound lets every system opt into the engine's
+    /// deterministic parallel round executor (see
+    /// [`SystemRuntime::set_parallel_rounds`]); nodes with no shared sink
+    /// satisfy it with `Deferred = ()` no-ops.
+    type Node: ParallelProtocol;
 
     /// Salt of the bootstrap-sampling RNG stream in
     /// [`vitis_sim::rng::domain::WORKLOAD`]. Distinct per system so
@@ -154,7 +165,7 @@ pub trait PubSubProtocol: Sized {
         logical: u32,
         subs: Subs,
         bootstrap: Vec<Entry<Subs>>,
-        rates: &Rc<RateTable>,
+        rates: &Arc<RateTable>,
         monitor: &Monitor,
     ) -> Self::Node;
 
@@ -221,6 +232,10 @@ pub struct SystemRuntime<P: PubSubProtocol> {
     topo_every: Option<u64>,
     /// Next scheduled topology sample (meaningful only while enabled).
     next_topo: SimTime,
+    /// Run rounds through the deterministic parallel executor instead of
+    /// the serial drain. Off by default; results are bit-identical either
+    /// way (see `vitis_sim::engine::Engine::run_until_parallel`).
+    parallel: bool,
 }
 
 impl<P: PubSubProtocol> SystemRuntime<P> {
@@ -268,6 +283,7 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
             bootstrap_contacts: params.bootstrap_contacts,
             topo_every: None,
             next_topo: SimTime::default(),
+            parallel: false,
         };
         for logical in 0..n as u32 {
             let node = sys.make_node(logical);
@@ -298,6 +314,20 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
                 Entry::fresh(slot, id, subs)
             })
             .collect()
+    }
+
+    /// Route round execution through the engine's deterministic parallel
+    /// executor (`true`) or the serial batched drain (`false`, the
+    /// default). Fixed-seed runs produce bit-identical traces, stats and
+    /// goldens in both modes at any thread count — this switch trades
+    /// wall-clock for cores, never results.
+    pub fn set_parallel_rounds(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Whether rounds currently run through the parallel executor.
+    pub fn parallel_rounds(&self) -> bool {
+        self.parallel
     }
 
     /// The protocol adapter (shared config state).
@@ -451,7 +481,7 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
             let Some(stop) = [next_fault, next_topo].into_iter().flatten().min() else {
                 break;
             };
-            self.engine.run_until(stop);
+            self.run_engine_until(stop);
             if next_fault == Some(stop) {
                 self.fault_driver.apply_due(&mut self.engine);
             }
@@ -461,7 +491,16 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
                 self.next_topo = stop + Duration(self.engine.round_period().ticks() * every);
             }
         }
-        self.engine.run_until(target);
+        self.run_engine_until(target);
+    }
+
+    /// Drain the engine to `target` through whichever executor is selected.
+    fn run_engine_until(&mut self, target: SimTime) {
+        if self.parallel {
+            self.engine.run_until_parallel(target);
+        } else {
+            self.engine.run_until(target);
+        }
     }
 
     /// Snapshot every online node's structural state, in slot order.
@@ -597,6 +636,10 @@ impl<P: PubSubProtocol> PubSub for SystemRuntime<P> {
 
     fn overlay_snapshot(&self) -> crate::topo::OverlaySnapshot {
         self.snapshot_topology()
+    }
+
+    fn set_parallel_rounds(&mut self, on: bool) {
+        SystemRuntime::set_parallel_rounds(self, on);
     }
 
     fn set_topo_sampling(&mut self, every_rounds: Option<u64>) {

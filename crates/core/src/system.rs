@@ -17,7 +17,7 @@ use crate::topic::{RateTable, Subs, TopicId, TopicSet};
 use crate::topo::{NodeTopo, RelayTopo, TopoLink};
 use rand::Rng;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use vitis_overlay::entry::Entry;
 use vitis_overlay::graph::Graph;
 use vitis_overlay::id::Id;
@@ -122,7 +122,7 @@ pub struct SystemParams {
 impl SystemParams {
     /// Sensible defaults around a subscription assignment.
     pub fn new(subscriptions: Vec<TopicSet>, num_topics: usize) -> Self {
-        let subscriptions: Vec<Subs> = subscriptions.into_iter().map(Rc::new).collect();
+        let subscriptions: Vec<Subs> = subscriptions.into_iter().map(Arc::new).collect();
         let n = subscriptions.len();
         let rates = RateTable::uniform(num_topics);
         let cfg = VitisConfig {
@@ -150,12 +150,12 @@ pub type VitisSystem = SystemRuntime<VitisProtocol>;
 /// The Vitis adapter for [`SystemRuntime`]: hybrid-overlay nodes,
 /// rendezvous-aware loss classification, ring + view-age structure probe.
 pub struct VitisProtocol {
-    cfg: Rc<VitisConfig>,
+    cfg: Arc<VitisConfig>,
 }
 
 impl VitisProtocol {
     /// The shared protocol configuration.
-    pub fn config(&self) -> &Rc<VitisConfig> {
+    pub fn config(&self) -> &Arc<VitisConfig> {
         &self.cfg
     }
 
@@ -223,7 +223,7 @@ impl PubSubProtocol for VitisProtocol {
     fn from_params(params: &SystemParams) -> Self {
         params.cfg.validate();
         VitisProtocol {
-            cfg: Rc::new(params.cfg.clone()),
+            cfg: Arc::new(params.cfg.clone()),
         }
     }
 
@@ -232,7 +232,7 @@ impl PubSubProtocol for VitisProtocol {
         logical: u32,
         subs: Subs,
         bootstrap: Vec<Entry<Subs>>,
-        rates: &Rc<RateTable>,
+        rates: &Arc<RateTable>,
         monitor: &Monitor,
     ) -> VitisNode {
         VitisNode::new(
@@ -593,7 +593,7 @@ mod tests {
         );
         let cloned = sys_params.clone();
         for (a, b) in sys_params.subscriptions.iter().zip(&cloned.subscriptions) {
-            assert!(Rc::ptr_eq(a, b), "clone must share interned topic sets");
+            assert!(Arc::ptr_eq(a, b), "clone must share interned topic sets");
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Topics, subscription sets and publication-rate tables.
 
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 use vitis_overlay::id::Id;
 
 /// A topic identifier, dense from zero within a run.
@@ -151,7 +151,7 @@ impl FromIterator<u32> for TopicSet {
 }
 
 /// Shared, immutable subscription set as carried in gossip descriptors.
-pub type Subs = Rc<TopicSet>;
+pub type Subs = Arc<TopicSet>;
 
 /// Per-topic publication rates, the `rate(t)` of Equation 1. The paper's
 /// default is uniform; the α-sweep experiment installs a Zipf profile.

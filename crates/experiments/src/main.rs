@@ -7,7 +7,7 @@
 //! vitis-experiments analyze TRACE.jsonl [--dot FILE.dot]
 //! vitis-experiments topology [--nodes N] [--seed S] [--system vitis|rvr|opt]
 //!                   [--rounds R] [--every K] [--out FILE] [--dot FILE] [--strict]
-//! vitis-experiments scale [--max-nodes N] [--seed S] [--out BENCH.json]
+//! vitis-experiments scale [--max-nodes N] [--budget-secs B] [--seed S] [--out BENCH.json]
 //!                   [--perf-out FILE] [--trace-out FILE]
 //!
 //! FIGURES: any of fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -232,15 +232,20 @@ fn run_scale(args: &[String]) -> ExitCode {
     use vitis_experiments::scalebench;
     let mut max_nodes = scalebench::DEFAULT_MAX_NODES;
     let mut seed: u64 = 42;
-    let mut out = "BENCH_PR6.json".to_string();
+    let mut out = "BENCH_PR9.json".to_string();
     let mut perf_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut budget_secs: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--max-nodes" => match it.next().and_then(|v| v.parse().ok()) {
+            "--max-nodes" | "--max-n" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => max_nodes = n,
                 None => return usage("--max-nodes needs an integer"),
+            },
+            "--budget-secs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(b) => budget_secs = Some(b),
+                None => return usage("--budget-secs needs an integer"),
             },
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => seed = s,
@@ -293,6 +298,7 @@ fn run_scale(args: &[String]) -> ExitCode {
     let entries = scalebench::run_sweep(
         max_nodes,
         seed,
+        budget_secs,
         streaming.then_some(&mut make_trace as &mut dyn FnMut(&'static str, usize) -> _),
         |point| {
             println!(
@@ -546,7 +552,7 @@ fn usage(err: &str) -> ExitCode {
          \t(overlay structural-health series + invariant audit; topo schema in docs/METRICS.md §10;\n\
          \t --strict exits nonzero on any audit violation)\n\
          \n\
-         \tvitis-experiments scale [--max-nodes N] [--seed S] [--out BENCH.json]\n\
+         \tvitis-experiments scale [--max-nodes N] [--budget-secs B] [--seed S] [--out BENCH.json]\n\
          \t\t[--perf-out FILE.jsonl] [--trace-out FILE.jsonl]\n\
          \t(node-count ladder 2k..100k across vitis/rvr/opt; BENCH schema in docs/METRICS.md §9.\n\
          \t build with --features perf-alloc for allocator peak-memory entries;\n\

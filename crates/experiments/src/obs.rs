@@ -454,12 +454,15 @@ fn render_metrics_line(
         let c = &p.counters;
         o.push_str(&format!(
             ",\"perf\":{{\"queue_hwm\":{},\"activations\":{{\"start\":{},\"round\":{},\
-             \"message\":{},\"stop\":{}}},\"footprint_bytes\":{}}}",
+             \"message\":{},\"stop\":{}}},\"sched\":{{\"batches\":{},\"overflow\":{}}},\
+             \"footprint_bytes\":{}}}",
             c.queue_hwm,
             c.activations_start,
             c.activations_round,
             c.activations_message,
             c.activations_stop,
+            c.sched_batches,
+            c.sched_overflow,
             p.footprint_bytes
         ));
     }
@@ -593,13 +596,16 @@ mod tests {
                 activations_round: 40,
                 activations_message: 12,
                 activations_stop: 1,
+                sched_batches: 9,
+                sched_overflow: 2,
             },
             footprint_bytes: 2048,
         };
         let line = render_metrics_line("t/x#2", &scale, &[], &[], &stats, Some(&perf));
         assert!(line.contains(
             "\"perf\":{\"queue_hwm\":7,\"activations\":{\"start\":4,\"round\":40,\
-             \"message\":12,\"stop\":1},\"footprint_bytes\":2048}"
+             \"message\":12,\"stop\":1},\"sched\":{\"batches\":9,\"overflow\":2},\
+             \"footprint_bytes\":2048}"
         ));
     }
 

@@ -9,8 +9,18 @@
 //! the simulations themselves stay bit-deterministic for a fixed seed.
 //!
 //! The default ladder stops at 10 000 nodes (the paper's scale, and what
-//! CI's deep job can afford); `--max-nodes 100000` unlocks the full
-//! trajectory.
+//! CI's deep job can afford); `--max-nodes 1000000` unlocks the full
+//! trajectory. Rungs above the paper scale switch to a reduced *frontier*
+//! plan (fewer rounds/events, Vitis only) so the 100k–1M points measure
+//! engine scaling without paying the baselines' superlinear costs; the
+//! sweep logs exactly what each rung runs, and `--budget-secs` caps the
+//! total wall-clock by skipping whole rungs once the budget is spent.
+//!
+//! Each Vitis point additionally re-runs under the deterministic parallel
+//! executor and reports `parallel_speedup` (serial wall-clock / parallel
+//! wall-clock over the round-driving phases). On a single-core host this
+//! hovers at or below 1.0 — the executor is validated by bit-identity,
+//! and the ratio records what the hardware actually delivered.
 
 use crate::benchfmt::BenchEntry;
 use crate::runner::synthetic_params;
@@ -23,11 +33,17 @@ use vitis_sim::trace::TraceHandle;
 use vitis_workloads::Correlation;
 
 /// The full node-count trajectory. Entries above `max_nodes` are skipped
-/// (the 50k/100k points take serious wall-clock and memory).
-pub const LADDER: [usize; 6] = [2_000, 5_000, 10_000, 20_000, 50_000, 100_000];
+/// (the 100k–1M points take serious wall-clock and memory).
+pub const LADDER: [usize; 9] = [
+    2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+];
 
 /// Default `--max-nodes`: the paper's 10 000-node setting.
 pub const DEFAULT_MAX_NODES: usize = 10_000;
+
+/// Largest rung that runs the full three-system paper plan; larger rungs
+/// use the reduced frontier plan and benchmark Vitis only.
+pub const PAPER_PLAN_MAX: usize = 10_000;
 
 /// One benchmarked (system, node-count) point.
 #[derive(Clone, Debug)]
@@ -100,12 +116,43 @@ pub fn sweep_scale(nodes: usize, seed: u64) -> Scale {
     s
 }
 
+/// The reduced measurement plan for rungs beyond the paper scale: enough
+/// rounds to exercise steady-state gossip and a publish window, small
+/// enough that a 1M-node rung finishes in minutes rather than hours.
+/// Numbers from the same rung remain comparable across commits (the plan
+/// is keyed on `nodes` only); they are *not* comparable to `sweep_scale`
+/// rungs, which is why the ladder never mixes plans at one node count.
+pub fn frontier_scale(nodes: usize, seed: u64) -> Scale {
+    let mut s = Scale::proportional(nodes, seed);
+    if nodes > 100_000 {
+        s.warmup_rounds = 5;
+        s.events = 50;
+        s.drain_rounds = 3;
+    } else {
+        s.warmup_rounds = 10;
+        s.events = 100;
+        s.drain_rounds = 4;
+    }
+    s
+}
+
+/// The plan for `nodes`: the paper plan up to [`PAPER_PLAN_MAX`], the
+/// frontier plan above it.
+pub fn plan_for(nodes: usize, seed: u64) -> Scale {
+    if nodes <= PAPER_PLAN_MAX {
+        sweep_scale(nodes, seed)
+    } else {
+        frontier_scale(nodes, seed)
+    }
+}
+
 /// Run one (system, node-count) point. `trace` is installed when the
 /// caller streams an event trace.
 fn bench_point(
     system: &'static str,
     scale: &Scale,
     trace: Option<TraceHandle>,
+    parallel: bool,
     build: impl FnOnce(SystemParams) -> Box<dyn PubSub>,
 ) -> BenchPoint {
     let _span = perf::span("scale.point");
@@ -117,6 +164,7 @@ fn bench_point(
         let _span = perf::span("scale.build");
         build(params)
     };
+    sys.set_parallel_rounds(parallel);
     if let Some(t) = trace {
         sys.install_trace(t);
     }
@@ -175,17 +223,35 @@ fn bench_point(
     }
 }
 
-/// Run the sweep over every ladder point `<= max_nodes`, all three
-/// systems per point, returning the flattened BENCH entries. Progress
-/// goes to stderr; `make_trace` (when given) supplies a fresh trace
-/// handle per point, which the caller drains after this returns point
-/// results via `on_point`.
+/// Total round-driving wall-clock of a point (the phases the executor
+/// choice can affect; build is excluded).
+fn round_ms(p: &BenchPoint) -> f64 {
+    p.warmup_ms + p.measure_ms + p.drain_ms
+}
+
+/// Run the sweep over every ladder point `<= max_nodes`, returning the
+/// flattened BENCH entries. Rungs up to [`PAPER_PLAN_MAX`] run all three
+/// systems on the paper plan; larger rungs run Vitis only on the reduced
+/// frontier plan (logged per rung — nothing is skipped silently). Every
+/// Vitis point is re-run under the parallel executor and emits a
+/// `parallel_speedup` entry.
+///
+/// `budget_secs` (when given) caps total wall-clock: once spent, the
+/// remaining rungs — and the parallel re-run within a rung — are skipped
+/// with a log line. Progress goes to stderr; `make_trace` (when given)
+/// supplies a fresh trace handle per point, which the caller drains after
+/// this returns point results via `on_point`.
 pub fn run_sweep(
     max_nodes: usize,
     seed: u64,
+    budget_secs: Option<u64>,
     mut make_trace: Option<&mut dyn FnMut(&'static str, usize) -> TraceHandle>,
     mut on_point: impl FnMut(&BenchPoint),
 ) -> Vec<BenchEntry> {
+    let started = Instant::now();
+    let over_budget = |at: &Instant| {
+        budget_secs.is_some_and(|b| at.elapsed().as_secs() >= b)
+    };
     let mut entries = Vec::new();
     let ladder: Vec<usize> = LADDER.iter().copied().filter(|&n| n <= max_nodes).collect();
     let skipped = LADDER.len() - ladder.len();
@@ -196,19 +262,64 @@ pub fn run_sweep(
         );
     }
     for &nodes in &ladder {
-        let scale = sweep_scale(nodes, seed);
+        if over_budget(&started) {
+            eprintln!(
+                "scale: wall-clock budget ({}s) spent — skipping the {nodes}-node rung and \
+                 everything above it",
+                budget_secs.unwrap_or(0)
+            );
+            break;
+        }
+        let scale = plan_for(nodes, seed);
         type Build = fn(SystemParams) -> Box<dyn PubSub>;
-        let systems: [(&'static str, Build); 3] = [
+        let all: [(&'static str, Build); 3] = [
             ("vitis", |p| Box::new(VitisSystem::new(p))),
             ("rvr", |p| Box::new(RvrSystem::new(p))),
             ("opt", |p| Box::new(OptSystem::new(p))),
         ];
-        for (name, build) in systems {
+        let systems: &[(&'static str, Build)] = if nodes <= PAPER_PLAN_MAX {
+            &all
+        } else {
+            eprintln!(
+                "scale: {nodes} nodes uses the frontier plan (warmup {}, events {}, drain {}) \
+                 and benchmarks vitis only",
+                scale.warmup_rounds, scale.events, scale.drain_rounds
+            );
+            &all[..1]
+        };
+        for &(name, build) in systems {
             eprintln!("scale: {name} @ {nodes} nodes...");
             let trace = make_trace.as_mut().map(|f| f(name, nodes));
-            let point = bench_point(name, &scale, trace, build);
+            let point = bench_point(name, &scale, trace, false, build);
             on_point(&point);
             entries.extend(point.entries());
+            if name == "vitis" {
+                if over_budget(&started) {
+                    eprintln!(
+                        "scale: wall-clock budget spent — skipping the parallel re-run at \
+                         {nodes} nodes"
+                    );
+                    continue;
+                }
+                eprintln!("scale: vitis @ {nodes} nodes (parallel executor)...");
+                let par = bench_point(name, &scale, None, true, build);
+                let speedup = if round_ms(&par) > 0.0 {
+                    round_ms(&point) / round_ms(&par)
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "scale: vitis @ {nodes}: serial {:.0} ms vs parallel {:.0} ms \
+                     (speedup {speedup:.2}x)",
+                    round_ms(&point),
+                    round_ms(&par)
+                );
+                entries.push(BenchEntry::new(
+                    format!("scale/vitis/{nodes}/parallel_speedup"),
+                    speedup,
+                    "ratio",
+                ));
+            }
         }
     }
     entries
@@ -237,7 +348,7 @@ mod tests {
             s.events = 30;
             s
         };
-        let point = bench_point("vitis", &scale, None, |p| Box::new(VitisSystem::new(p)));
+        let point = bench_point("vitis", &scale, None, false, |p| Box::new(VitisSystem::new(p)));
         assert_eq!(point.nodes, 200);
         assert!(point.delivered > 0, "toy sweep must deliver events");
         assert!(point.deliveries_per_sec > 0.0);
@@ -258,5 +369,56 @@ mod tests {
     fn ladder_is_bounded_by_max_nodes() {
         let within: Vec<usize> = LADDER.iter().copied().filter(|&n| n <= 10_000).collect();
         assert_eq!(within, vec![2_000, 5_000, 10_000]);
+    }
+
+    #[test]
+    fn ladder_reaches_one_million() {
+        assert_eq!(*LADDER.last().unwrap(), 1_000_000);
+        // Strictly increasing: one plan per node count, no duplicate rungs.
+        assert!(LADDER.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn plans_split_at_the_paper_scale() {
+        // Paper rungs keep the PR6 plan byte-for-byte so BENCH numbers
+        // stay comparable across PRs.
+        let paper = plan_for(10_000, 42);
+        assert_eq!(
+            (paper.warmup_rounds, paper.events, paper.drain_rounds),
+            (30, 200, 8)
+        );
+        let mid = plan_for(50_000, 42);
+        assert_eq!((mid.warmup_rounds, mid.events, mid.drain_rounds), (10, 100, 4));
+        let big = plan_for(500_000, 42);
+        assert_eq!((big.warmup_rounds, big.events, big.drain_rounds), (5, 50, 3));
+        // Proportional workload shape is preserved at every tier.
+        assert_eq!(big.nodes, 500_000);
+    }
+
+    #[test]
+    fn parallel_bench_point_runs() {
+        let scale = {
+            let mut s = sweep_scale(200, 7);
+            s.warmup_rounds = 10;
+            s.events = 20;
+            s
+        };
+        let serial = bench_point("vitis", &scale, None, false, |p| {
+            Box::new(VitisSystem::new(p))
+        });
+        let par = bench_point("vitis", &scale, None, true, |p| {
+            Box::new(VitisSystem::new(p))
+        });
+        // Same simulation either way: identical deliveries and hit ratio.
+        assert_eq!(serial.delivered, par.delivered);
+        assert_eq!(serial.hit_ratio, par.hit_ratio);
+    }
+
+    #[test]
+    fn zero_budget_skips_every_rung() {
+        let entries = run_sweep(10_000, 42, Some(0), None, |_| {
+            panic!("no point should run under a zero budget")
+        });
+        assert!(entries.is_empty());
     }
 }

@@ -4,12 +4,17 @@
 //! simulator — the PeerSim-equivalent substrate for the Vitis
 //! publish/subscribe reproduction.
 //!
-//! The engine is single-threaded and fully deterministic: a run is a pure
-//! function of `(protocol code, configuration, master seed)`. Protocols are
-//! per-node state machines implementing [`protocol::Protocol`]; they exchange
+//! The engine is fully deterministic: a run is a pure function of
+//! `(protocol code, configuration, master seed)`. Protocols are per-node
+//! state machines implementing [`protocol::Protocol`]; they exchange
 //! messages through a pluggable [`network::NetworkModel`] and receive
 //! periodic, per-node-desynchronized round ticks — PeerSim's event-driven
-//! mode running periodic (gossip) protocols.
+//! mode running periodic (gossip) protocols. Events are scheduled by a
+//! calendar-queue scheduler ([`event`]) and drained in dense per-timestamp
+//! batches; protocols implementing [`protocol::ParallelProtocol`] can opt
+//! into [`engine::Engine::run_until_parallel`], which fans each batch out
+//! across worker threads and merges effects deterministically — output is
+//! bit-identical to serial execution at any thread count.
 //!
 //! ```
 //! use vitis_sim::prelude::*;
@@ -54,7 +59,7 @@ pub mod prelude {
     pub use crate::metrics::{Counter, Histogram, Summary, TimeSeries};
     pub use crate::network::{ConstantLatency, Lossy, NetworkModel, UniformLatency};
     pub use crate::perf::{EngineCounters, MemSnapshot, SpanStat};
-    pub use crate::protocol::{Context, Protocol, StopReason};
+    pub use crate::protocol::{Context, ParallelProtocol, Protocol, StopReason};
     pub use crate::time::{Duration, SimTime};
     pub use crate::trace::{
         HealthProbe, KindTraffic, MsgTag, Trace, TraceEvent, TraceHandle, TrafficClass,

@@ -261,6 +261,14 @@ pub struct EngineCounters {
     pub activations_message: u64,
     /// `on_stop` activations (leaves and crashes).
     pub activations_stop: u64,
+    /// Dense batch drains executed by the calendar-queue scheduler (one
+    /// per distinct timestamp with pending events). `total_activations /
+    /// sched_batches` approximates events handled per scheduler pass.
+    pub sched_batches: u64,
+    /// Events pushed beyond the calendar ring's horizon into the overflow
+    /// list (long timers, far-future retries). High values relative to
+    /// total events indicate the ring is undersized for the workload.
+    pub sched_overflow: u64,
 }
 
 impl EngineCounters {
@@ -504,6 +512,8 @@ mod tests {
             activations_round: 2,
             activations_message: 3,
             activations_stop: 4,
+            sched_batches: 5,
+            sched_overflow: 6,
         };
         assert_eq!(c.total_activations(), 10);
     }

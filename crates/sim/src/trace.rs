@@ -23,11 +23,10 @@
 //! explain every missed delivery.
 
 use std::borrow::Cow;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Which plane a message belongs to: protocol maintenance (gossip,
 /// heartbeats, lookups) or event dissemination.
@@ -413,9 +412,27 @@ pub enum TraceEvent {
 }
 
 /// Shared handle to a [`Trace`]; the engine and the harness both record
-/// into the same buffer. The engine is single-threaded, so `Rc<RefCell>`
-/// suffices.
-pub type TraceHandle = Rc<RefCell<Trace>>;
+/// into the same buffer.
+///
+/// Backed by `Arc<Mutex>` so traced protocol state can cross worker
+/// threads under the engine's parallel round executor; all recording
+/// still happens on the engine thread (workers defer shared-sink writes),
+/// so the lock is uncontended. The `borrow`/`borrow_mut` method names are
+/// kept from the earlier single-threaded `Rc<RefCell>` handle.
+#[derive(Clone, Debug)]
+pub struct TraceHandle(Arc<Mutex<Trace>>);
+
+impl TraceHandle {
+    /// Lock the trace for reading.
+    pub fn borrow(&self) -> std::sync::MutexGuard<'_, Trace> {
+        self.0.lock().expect("trace lock poisoned")
+    }
+
+    /// Lock the trace for writing.
+    pub fn borrow_mut(&self) -> std::sync::MutexGuard<'_, Trace> {
+        self.0.lock().expect("trace lock poisoned")
+    }
+}
 
 /// A bounded ring buffer of [`TraceEvent`]s.
 #[derive(Debug)]
@@ -446,7 +463,7 @@ impl Trace {
     /// A shared handle around a fresh trace (what systems install into
     /// their engine).
     pub fn shared(capacity: usize) -> TraceHandle {
-        Rc::new(RefCell::new(Trace::new(capacity)))
+        TraceHandle(Arc::new(Mutex::new(Trace::new(capacity))))
     }
 
     /// Whether per-message events are recorded (on by default). Round,

@@ -17,8 +17,18 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// How many worker threads a parallel collect may use.
+/// How many worker threads a parallel collect may use. Honors the
+/// `RAYON_NUM_THREADS` environment variable (like real Rayon's default
+/// global pool) so thread counts are controllable in tests and CI;
+/// falls back to the machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1)
