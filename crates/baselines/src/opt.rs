@@ -11,13 +11,14 @@
 //! (Figure 11).
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
-use vitis::smallmap::SmallMap;
 use std::sync::Arc;
 use vitis::monitor::{EventId, HopPath, Monitor};
+use vitis::smallmap::SmallMap;
 use vitis::topic::{Subs, TopicId};
 use vitis_overlay::entry::Entry;
 use vitis_overlay::id::Id;
 use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
+use vitis_sim::antientropy::{AeConfig, AntiEntropy};
 use vitis_sim::event::NodeIdx;
 use vitis_sim::prelude::{Context, MsgTag, ParallelProtocol, Protocol, StopReason};
 
@@ -83,6 +84,22 @@ pub enum OptMsg {
         /// Topic to publish on.
         topic: TopicId,
     },
+    /// Anti-entropy digest (IHAVE): `(event id, topic)` pairs the sender
+    /// holds in its repair cache. Only sent when repair is enabled.
+    AeDigest(Arc<Vec<(u64, u32)>>),
+    /// Anti-entropy pull request (IWANT): missing event ids.
+    AeWant(Vec<u64>),
+    /// Anti-entropy recovery push answering an [`OptMsg::AeWant`].
+    AePush {
+        /// The recovered event.
+        event: EventId,
+        /// Its topic.
+        topic: TopicId,
+        /// Hops from the publisher, counting the repair hop.
+        hops: u32,
+        /// Causal provenance (forensic metadata only).
+        path: HopPath,
+    },
 }
 
 struct Link {
@@ -104,6 +121,12 @@ pub struct OptNode {
     pending: BTreeSet<NodeIdx>,
     bootstrap: Vec<Entry<Subs>>,
     seen: HashSet<EventId>,
+    /// Anti-entropy repair layer; inert (no sends, no RNG draws) unless
+    /// explicitly enabled via [`OptNode::with_repair`]. Caches `(hops,
+    /// path)` alongside the event/topic ids.
+    ae: AntiEntropy<(u32, HopPath)>,
+    /// Local round counter driving the repair cache TTL and digest cadence.
+    round: u64,
 }
 
 impl OptNode {
@@ -128,7 +151,21 @@ impl OptNode {
             pending: BTreeSet::new(),
             bootstrap,
             seen: HashSet::new(),
+            ae: AntiEntropy::new(AeConfig::default()),
+            round: 0,
         }
+    }
+
+    /// Replace the anti-entropy configuration (builder style). Pass
+    /// [`AeConfig::on`] to enable digest-exchange repair.
+    pub fn with_repair(mut self, cfg: AeConfig) -> Self {
+        self.ae = AntiEntropy::new(cfg);
+        self
+    }
+
+    /// The anti-entropy repair layer (read access for tests).
+    pub fn repair(&self) -> &AntiEntropy<(u32, HopPath)> {
+        &self.ae
     }
 
     /// This node's ring identifier.
@@ -235,7 +272,8 @@ impl OptNode {
     ) {
         for (&peer, link) in &self.links {
             if Some(peer) != came_from && link.subs.contains(topic) {
-                self.monitor.record_forward(event, self.addr, peer, hops, ctx.now);
+                self.monitor
+                    .record_forward(event, self.addr, peer, hops, ctx.now);
                 ctx.send(
                     peer,
                     OptMsg::Notif {
@@ -282,12 +320,18 @@ impl Protocol for OptNode {
             OptMsg::Disconnect => MsgTag::control("disconnect"),
             OptMsg::Notif { .. } => MsgTag::data("notification"),
             OptMsg::PublishCmd { .. } => MsgTag::data("publish_cmd"),
+            OptMsg::AeDigest(_) => MsgTag::control("ae_digest"),
+            OptMsg::AeWant(_) => MsgTag::control("ae_want"),
+            OptMsg::AePush { .. } => MsgTag::data("ae_push"),
         }
     }
 
     fn event_of(msg: &OptMsg) -> Option<u64> {
         match msg {
             OptMsg::Notif { event, .. } => Some(event.0),
+            // Lost recovery pushes attribute to the event the same way lost
+            // flood copies do, so `LossReason::Network` stays exact.
+            OptMsg::AePush { event, .. } => Some(event.0),
             _ => None,
         }
     }
@@ -324,6 +368,23 @@ impl Protocol for OptNode {
         // Heartbeats.
         for peer in self.links.keys().copied().collect::<Vec<_>>() {
             ctx.send(peer, OptMsg::Heartbeat(self.subs.clone()));
+        }
+
+        // Anti-entropy repair. Entirely inert — no sends, no RNG draws —
+        // unless the layer is enabled, so default runs stay bit-identical.
+        if self.ae.enabled() {
+            self.round += 1;
+            self.ae.tick(self.round);
+            for (target, ids) in self.ae.due_pulls(self.round) {
+                ctx.send(target, OptMsg::AeWant(ids));
+            }
+            if let Some(entries) = self.ae.digest(self.round) {
+                let entries = Arc::new(entries);
+                let nbrs = self.neighbor_addrs();
+                for t in self.ae.pick_targets(&nbrs, ctx.rng) {
+                    ctx.send(t, OptMsg::AeDigest(entries.clone()));
+                }
+            }
         }
     }
 
@@ -374,12 +435,72 @@ impl Protocol for OptNode {
                     self.monitor
                         .record_delivery_traced(event, self.addr, hops, ctx.now, &path_here);
                 }
+                if self.ae.enabled() {
+                    self.ae
+                        .insert(event.0, topic.0, (hops, path_here.clone()), self.round);
+                }
                 self.flood(ctx, Some(from), event, topic, hops + 1, &path_here);
             }
             OptMsg::PublishCmd { event, topic } => {
                 self.seen.insert(event);
                 let path = HopPath::origin(self.addr);
+                if self.ae.enabled() {
+                    self.ae
+                        .insert(event.0, topic.0, (0, path.clone()), self.round);
+                }
                 self.flood(ctx, None, event, topic, 1, &path);
+            }
+            OptMsg::AeDigest(entries) => {
+                let subs = self.subs.clone();
+                let seen = &self.seen;
+                let wants = self.ae.on_digest(
+                    from,
+                    &entries,
+                    self.round,
+                    |t| subs.contains(TopicId(t)),
+                    |e| seen.contains(&EventId(e)),
+                );
+                if !wants.is_empty() {
+                    ctx.send(from, OptMsg::AeWant(wants));
+                }
+            }
+            OptMsg::AeWant(ids) => {
+                for (event, topic, (hops, path)) in self.ae.serve(&ids) {
+                    self.monitor
+                        .record_forward(EventId(event), self.addr, from, hops + 1, ctx.now);
+                    ctx.send(
+                        from,
+                        OptMsg::AePush {
+                            event: EventId(event),
+                            topic: TopicId(topic),
+                            hops: hops + 1,
+                            path,
+                        },
+                    );
+                }
+            }
+            OptMsg::AePush {
+                event,
+                topic,
+                hops,
+                path,
+            } => {
+                // Recovered copies count as a first delivery only if the
+                // flood never got here, and are never re-flooded — repair
+                // traffic stays pull-bounded.
+                let interested = self.subs.contains(topic);
+                self.monitor.record_data_rx(self.addr, interested);
+                if !self.seen.insert(event) {
+                    self.ae.satisfy(event.0);
+                    return;
+                }
+                let path_here = path.extend(self.addr);
+                if interested {
+                    self.monitor
+                        .record_delivery_recovered(event, self.addr, hops, ctx.now, &path_here);
+                }
+                self.ae
+                    .insert(event.0, topic.0, (hops, path_here), self.round);
             }
         }
     }
@@ -484,7 +605,13 @@ mod tests {
         eng.run_rounds(25);
         let expected: Vec<NodeIdx> = (1..16).map(|k| NodeIdx(k * 2)).collect();
         let e = monitor.register_event(TopicId(0), eng.now(), expected);
-        eng.inject(NodeIdx(0), OptMsg::PublishCmd { event: e, topic: TopicId(0) });
+        eng.inject(
+            NodeIdx(0),
+            OptMsg::PublishCmd {
+                event: e,
+                topic: TopicId(0),
+            },
+        );
         eng.run_rounds(3);
         let s = monitor.snapshot();
         assert_eq!(s.relay_msgs, 0, "OPT must never relay");

@@ -12,16 +12,17 @@
 //! overhead Vitis's clustering removes.
 
 use std::collections::HashSet;
-use vitis::smallmap::SmallMap;
 use std::sync::Arc;
 use vitis::monitor::{EventId, HopPath, Monitor};
 use vitis::relay::RelayTable;
+use vitis::smallmap::SmallMap;
 use vitis::topic::{Subs, TopicId};
 use vitis_overlay::entry::{merge_dedup, Entry};
 use vitis_overlay::id::Id;
 use vitis_overlay::peer_sampling::{Newscast, PeerSampling};
 use vitis_overlay::routing::next_hop;
 use vitis_overlay::rt::{build_exchange_buffer, select_neighbors, HybridRt, RtParams};
+use vitis_sim::antientropy::{AeConfig, AntiEntropy};
 use vitis_sim::event::NodeIdx;
 use vitis_sim::prelude::{Context, MsgTag, ParallelProtocol, Protocol, StopReason};
 
@@ -97,6 +98,22 @@ pub enum RvrMsg {
         /// Topic to publish on.
         topic: TopicId,
     },
+    /// Anti-entropy digest (IHAVE): `(event id, topic)` pairs the sender
+    /// holds in its repair cache. Only sent when repair is enabled.
+    AeDigest(Arc<Vec<(u64, u32)>>),
+    /// Anti-entropy pull request (IWANT): missing event ids.
+    AeWant(Vec<u64>),
+    /// Anti-entropy recovery push answering an [`RvrMsg::AeWant`].
+    AePush {
+        /// The recovered event.
+        event: EventId,
+        /// Its topic.
+        topic: TopicId,
+        /// Hops from the publisher, counting the repair hop.
+        hops: u32,
+        /// Causal provenance (forensic metadata only).
+        path: HopPath,
+    },
 }
 
 /// An RVR peer.
@@ -116,6 +133,12 @@ pub struct RvrNode {
     /// Neighbor subscription cache (from heartbeats) — used only for
     /// delivery bookkeeping, never for neighbor selection.
     nbr_subs: SmallMap<NodeIdx, Subs>,
+    /// Anti-entropy repair layer; inert (no sends, no RNG draws) unless
+    /// explicitly enabled via [`RvrNode::with_repair`]. Caches `(hops,
+    /// path)` alongside the event/topic ids.
+    ae: AntiEntropy<(u32, HopPath)>,
+    /// Local round counter driving the repair cache TTL and digest cadence.
+    round: u64,
 }
 
 impl RvrNode {
@@ -141,7 +164,21 @@ impl RvrNode {
             tree: RelayTable::new(),
             seen: HashSet::new(),
             nbr_subs: SmallMap::new(),
+            ae: AntiEntropy::new(AeConfig::default()),
+            round: 0,
         }
+    }
+
+    /// Replace the anti-entropy configuration (builder style). Pass
+    /// [`AeConfig::on`] to enable digest-exchange repair.
+    pub fn with_repair(mut self, cfg: AeConfig) -> Self {
+        self.ae = AntiEntropy::new(cfg);
+        self
+    }
+
+    /// The anti-entropy repair layer (read access for tests).
+    pub fn repair(&self) -> &AntiEntropy<(u32, HopPath)> {
+        &self.ae
     }
 
     /// This node's ring identifier.
@@ -233,7 +270,13 @@ impl RvrNode {
             Some(next) => {
                 self.tree.set_upstream(topic, next);
                 if hops < self.cfg.max_lookup_hops {
-                    ctx.send(next, RvrMsg::Join { topic, hops: hops + 1 });
+                    ctx.send(
+                        next,
+                        RvrMsg::Join {
+                            topic,
+                            hops: hops + 1,
+                        },
+                    );
                 }
             }
             None => self.tree.mark_rendezvous(topic),
@@ -250,7 +293,8 @@ impl RvrNode {
         path: &HopPath,
     ) {
         for t in self.tree.fanout(topic, came_from) {
-            self.monitor.record_forward(event, self.addr, t, hops, ctx.now);
+            self.monitor
+                .record_forward(event, self.addr, t, hops, ctx.now);
             ctx.send(
                 t,
                 RvrMsg::Notif {
@@ -282,7 +326,38 @@ impl RvrNode {
             self.monitor
                 .record_delivery_traced(event, self.addr, hops, ctx.now, &path_here);
         }
+        if self.ae.enabled() {
+            self.ae
+                .insert(event.0, topic.0, (hops, path_here.clone()), self.round);
+        }
         self.forward_notif(ctx, Some(from), event, topic, hops + 1, &path_here);
+    }
+
+    /// A recovery push arrived: count it as a first delivery only if the
+    /// tree never got this event here, and never re-flood it — recovered
+    /// copies spread only through further digest exchanges, so repair
+    /// traffic stays pull-bounded.
+    fn on_recovery(
+        &mut self,
+        ctx: &mut Context<'_, RvrMsg>,
+        event: EventId,
+        topic: TopicId,
+        hops: u32,
+        path: &HopPath,
+    ) {
+        let interested = self.subs.contains(topic);
+        self.monitor.record_data_rx(self.addr, interested);
+        if !self.seen.insert(event) {
+            self.ae.satisfy(event.0);
+            return;
+        }
+        let path_here = path.extend(self.addr);
+        if interested {
+            self.monitor
+                .record_delivery_recovered(event, self.addr, hops, ctx.now, &path_here);
+        }
+        self.ae
+            .insert(event.0, topic.0, (hops, path_here), self.round);
     }
 }
 
@@ -318,12 +393,18 @@ impl Protocol for RvrNode {
             RvrMsg::Join { .. } => MsgTag::control("join"),
             RvrMsg::Notif { .. } => MsgTag::data("notification"),
             RvrMsg::PublishCmd { .. } => MsgTag::data("publish_cmd"),
+            RvrMsg::AeDigest(_) => MsgTag::control("ae_digest"),
+            RvrMsg::AeWant(_) => MsgTag::control("ae_want"),
+            RvrMsg::AePush { .. } => MsgTag::data("ae_push"),
         }
     }
 
     fn event_of(msg: &RvrMsg) -> Option<u64> {
         match msg {
             RvrMsg::Notif { event, .. } => Some(event.0),
+            // Lost recovery pushes attribute to the event the same way lost
+            // tree copies do, so `LossReason::Network` stays exact.
+            RvrMsg::AePush { event, .. } => Some(event.0),
             _ => None,
         }
     }
@@ -381,6 +462,23 @@ impl Protocol for RvrNode {
         for nbr in self.rt.addrs() {
             ctx.send(nbr, RvrMsg::Heartbeat(self.id, self.subs.clone()));
         }
+
+        // Anti-entropy repair. Entirely inert — no sends, no RNG draws —
+        // unless the layer is enabled, so default runs stay bit-identical.
+        if self.ae.enabled() {
+            self.round += 1;
+            self.ae.tick(self.round);
+            for (target, ids) in self.ae.due_pulls(self.round) {
+                ctx.send(target, RvrMsg::AeWant(ids));
+            }
+            if let Some(entries) = self.ae.digest(self.round) {
+                let entries = Arc::new(entries);
+                let nbrs = self.rt.addrs();
+                for t in self.ae.pick_targets(&nbrs, ctx.rng) {
+                    ctx.send(t, RvrMsg::AeDigest(entries.clone()));
+                }
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, RvrMsg>, from: NodeIdx, msg: RvrMsg) {
@@ -420,8 +518,45 @@ impl Protocol for RvrNode {
                 // The publisher is a subscriber, so it sits in the tree; the
                 // notification climbs to the rendezvous and floods down.
                 let path = HopPath::origin(self.addr);
+                if self.ae.enabled() {
+                    self.ae
+                        .insert(event.0, topic.0, (0, path.clone()), self.round);
+                }
                 self.forward_notif(ctx, None, event, topic, 1, &path);
             }
+            RvrMsg::AeDigest(entries) => {
+                let subs = self.subs.clone();
+                let seen = &self.seen;
+                let wants = self.ae.on_digest(
+                    from,
+                    &entries,
+                    self.round,
+                    |t| subs.contains(TopicId(t)),
+                    |e| seen.contains(&EventId(e)),
+                );
+                if !wants.is_empty() {
+                    ctx.send(from, RvrMsg::AeWant(wants));
+                }
+            }
+            RvrMsg::AeWant(ids) => {
+                for (event, topic, (hops, path)) in self.ae.serve(&ids) {
+                    let push = RvrMsg::AePush {
+                        event: EventId(event),
+                        topic: TopicId(topic),
+                        hops: hops + 1,
+                        path,
+                    };
+                    self.monitor
+                        .record_forward(EventId(event), self.addr, from, hops + 1, ctx.now);
+                    ctx.send(from, push);
+                }
+            }
+            RvrMsg::AePush {
+                event,
+                topic,
+                hops,
+                path,
+            } => self.on_recovery(ctx, event, topic, hops, &path),
         }
     }
 
@@ -507,7 +642,13 @@ mod tests {
         eng.run_rounds(35);
         let expected: Vec<NodeIdx> = (1..24).map(|k| NodeIdx(k * 2)).collect();
         let e = monitor.register_event(TopicId(0), eng.now(), expected);
-        eng.inject(NodeIdx(0), RvrMsg::PublishCmd { event: e, topic: TopicId(0) });
+        eng.inject(
+            NodeIdx(0),
+            RvrMsg::PublishCmd {
+                event: e,
+                topic: TopicId(0),
+            },
+        );
         eng.run_rounds(4);
         let (exp, del) = monitor.event_progress(e).unwrap();
         assert_eq!(exp, 23);

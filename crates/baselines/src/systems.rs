@@ -14,6 +14,7 @@ use vitis::topic::{RateTable, Subs, TopicId};
 use vitis::topo::{NodeTopo, RelayTopo, TopoLink};
 use vitis_overlay::entry::Entry;
 use vitis_overlay::id::Id;
+use vitis_sim::antientropy::AeConfig;
 use vitis_sim::event::NodeIdx;
 
 /// A complete RVR (Scribe-equivalent) network behind the uniform
@@ -26,6 +27,7 @@ pub type RvrSystem = SystemRuntime<RvrProtocol>;
 /// sampling view are used (RVR has no friends, gateways or relay radius).
 pub struct RvrProtocol {
     cfg: Arc<RvrConfig>,
+    repair: AeConfig,
 }
 
 impl RvrProtocol {
@@ -71,9 +73,9 @@ impl RvrProtocol {
             return LossReason::RelayBroken;
         }
         match rendezvous_claims {
-            0 => LossReason::RelayBroken, // no root: joins never terminated
+            0 => LossReason::RelayBroken,     // no root: joins never terminated
             1 => LossReason::IncompleteFlood, // tree exists but fanout stopped short
-            _ => LossReason::RingMisroute, // conflicting roots split the tree
+            _ => LossReason::RingMisroute,    // conflicting roots split the tree
         }
     }
 }
@@ -93,6 +95,7 @@ impl PubSubProtocol for RvrProtocol {
                 sampling_view: params.cfg.sampling_view,
                 max_lookup_hops: params.cfg.max_lookup_hops,
             }),
+            repair: params.repair.clone(),
         }
     }
 
@@ -111,6 +114,7 @@ impl PubSubProtocol for RvrProtocol {
             monitor.clone(),
             bootstrap,
         )
+        .with_repair(self.repair.clone())
     }
 
     fn describe(node: &RvrNode) -> (Id, Subs) {
@@ -200,6 +204,7 @@ pub type OptSystem = SystemRuntime<OptProtocol>;
 /// within each topic subgraph, no structured routing at all.
 pub struct OptProtocol {
     cfg: Arc<OptConfig>,
+    repair: AeConfig,
 }
 
 impl OptProtocol {
@@ -207,7 +212,10 @@ impl OptProtocol {
     /// gives the unbounded variant of Figure 11); combine with
     /// [`SystemRuntime::with_protocol`].
     pub fn with_config(cfg: OptConfig) -> Self {
-        OptProtocol { cfg: Arc::new(cfg) }
+        OptProtocol {
+            cfg: Arc::new(cfg),
+            repair: AeConfig::default(),
+        }
     }
 }
 
@@ -217,12 +225,14 @@ impl PubSubProtocol for OptProtocol {
     const BOOT_SALT: u64 = u64::MAX - 2;
 
     fn from_params(params: &SystemParams) -> Self {
-        OptProtocol::with_config(OptConfig {
+        let mut p = OptProtocol::with_config(OptConfig {
             max_degree: Some(params.cfg.rt_size),
             sampling_view: params.cfg.sampling_view,
             age_threshold: params.cfg.age_threshold,
             ..OptConfig::default()
-        })
+        });
+        p.repair = params.repair.clone();
+        p
     }
 
     fn make_node(
@@ -240,6 +250,7 @@ impl PubSubProtocol for OptProtocol {
             monitor.clone(),
             bootstrap,
         )
+        .with_repair(self.repair.clone())
     }
 
     fn describe(node: &OptNode) -> (Id, Subs) {
@@ -394,7 +405,11 @@ mod tests {
         let s = sys.stats();
         assert_eq!(s.relay_msgs, 0, "flooding a topic subgraph cannot relay");
         assert!(s.useful_msgs > 0);
-        assert!(s.hit_ratio > 0.3, "some delivery expected, got {}", s.hit_ratio);
+        assert!(
+            s.hit_ratio > 0.3,
+            "some delivery expected, got {}",
+            s.hit_ratio
+        );
     }
 
     #[test]

@@ -279,6 +279,9 @@ struct MonitorInner {
     control_tx_bytes: Vec<u64>,
     /// Rounds worth of control traffic observed, per slot.
     control_rounds: Vec<u64>,
+    /// First arrivals that came through the anti-entropy repair layer
+    /// (monitor lifetime; not reset with metrics windows).
+    recovered_deliveries: u64,
 }
 
 impl MonitorInner {
@@ -418,6 +421,9 @@ pub enum MonitorOp {
         now: SimTime,
         /// Causal hop path (cheap `Arc` clone).
         path: HopPath,
+        /// `true` when the copy arrived via anti-entropy repair (a
+        /// digest-triggered pull) rather than normal dissemination.
+        recovered: bool,
     },
 }
 
@@ -552,6 +558,7 @@ impl Monitor {
                 hops,
                 now,
                 path,
+                recovered,
             } => {
                 let Some(rec) = inner.record_of(event) else {
                     return;
@@ -569,6 +576,14 @@ impl Monitor {
                     })
                     .or_insert((hops, now));
                 if first {
+                    // A repair-recovered first arrival is a distinct
+                    // delivery class: counted (it shrinks the loss gap
+                    // and its `LossReason` attribution) and flagged in
+                    // the forensics record. Duplicate recoveries of an
+                    // already-delivered event change nothing.
+                    if recovered {
+                        inner.recovered_deliveries += 1;
+                    }
                     if let Some(trace) = &inner.trace {
                         trace.borrow_mut().record(TraceEvent::DeliverEvent {
                             now: now.ticks(),
@@ -577,6 +592,7 @@ impl Monitor {
                             hops,
                             latency: now.since(published_at).ticks(),
                             path: path.render(),
+                            recovered,
                         });
                     }
                 }
@@ -632,7 +648,38 @@ impl Monitor {
             hops,
             now,
             path: path.clone(),
+            recovered: false,
         });
+    }
+
+    /// [`Monitor::record_delivery_traced`] for a copy that arrived via
+    /// the anti-entropy repair layer: the first arrival still counts as a
+    /// delivery (shrinking the loss gap) but is flagged `recovered` in
+    /// its forensics record and tallied separately
+    /// ([`Monitor::recovered_deliveries`]).
+    pub fn record_delivery_recovered(
+        &self,
+        event: EventId,
+        node: NodeIdx,
+        hops: u32,
+        now: SimTime,
+        path: &HopPath,
+    ) {
+        self.submit(MonitorOp::DeliveryTraced {
+            event,
+            node,
+            hops,
+            now,
+            path: path.clone(),
+            recovered: true,
+        });
+    }
+
+    /// First arrivals at expected subscribers that came through the
+    /// anti-entropy repair layer (process lifetime of this monitor, never
+    /// reset by metrics windows — callers diff across windows).
+    pub fn recovered_deliveries(&self) -> u64 {
+        self.inner.lock().unwrap().recovered_deliveries
     }
 
     /// Install (or, with `None`, remove) the forensics trace sink. Systems
@@ -669,7 +716,14 @@ impl Monitor {
     /// Emit one `fwd` forensics record: `from` handed a copy of `event` to
     /// `to` carrying hop count `hop`. No-op unless a trace is installed,
     /// so protocols call it unconditionally on their forwarding paths.
-    pub fn record_forward(&self, event: EventId, from: NodeIdx, to: NodeIdx, hop: u32, now: SimTime) {
+    pub fn record_forward(
+        &self,
+        event: EventId,
+        from: NodeIdx,
+        to: NodeIdx,
+        hop: u32,
+        now: SimTime,
+    ) {
         self.submit(MonitorOp::Forward {
             event,
             from,
@@ -1089,7 +1143,8 @@ mod forensics_tests {
                 node: 1,
                 hops: 1,
                 latency: 2,
-                path: "0>1".to_string()
+                path: "0>1".to_string(),
+                recovered: false,
             }
         );
         // Aggregates are unaffected by tracing.

@@ -86,6 +86,18 @@ pub enum VitisMsg {
         /// Retry attempt number, 1-based; drives the backoff exponent.
         attempt: u32,
     },
+    /// Anti-entropy digest (IHAVE): `(event id, topic)` pairs the sender
+    /// holds in its repair cache. Shared via `Arc` so the per-target
+    /// fan-out clones are free. Only sent when the repair layer is
+    /// enabled.
+    AeDigest(Arc<Vec<(u64, u32)>>),
+    /// Anti-entropy pull request (IWANT): event ids the sender is missing
+    /// and asks the receiver to re-serve from its cache.
+    AeWant(Vec<u64>),
+    /// Anti-entropy recovery push: a cached notification re-served in
+    /// answer to an [`VitisMsg::AeWant`]. Data-plane — it carries the
+    /// event payload.
+    AePush(Notification),
 }
 
 /// Approximate serialized sizes, in bytes, for bandwidth accounting: a node
@@ -131,6 +143,12 @@ pub mod wire {
             // its size only matters for totality.
             VitisMsg::RetryPublish { .. } => 0,
             VitisMsg::Notification(_) | VitisMsg::PublishCmd { .. } => 16,
+            VitisMsg::AeDigest(entries) => {
+                entries.len() as u64 * vitis_sim::antientropy::DIGEST_ENTRY_BYTES
+            }
+            VitisMsg::AeWant(ids) => ids.len() as u64 * vitis_sim::antientropy::WANT_ID_BYTES,
+            // A recovery push is the notification transfer again.
+            VitisMsg::AePush(_) => 16,
         }
     }
 }

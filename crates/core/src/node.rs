@@ -8,17 +8,18 @@ use crate::gateway::{revise_proposal, Proposal};
 use crate::monitor::{EventId, HopPath, Monitor};
 use crate::msg::{wire, Notification, ProfileMsg, VitisMsg};
 use crate::relay::RelayTable;
+use crate::smallmap::SmallMap;
 use crate::topic::{RateTable, Subs, TopicId};
 use crate::utility::utility;
-use crate::smallmap::SmallMap;
 use std::collections::HashSet;
 use std::sync::Arc;
 use vitis_overlay::entry::{merge_dedup, Entry};
-use vitis_overlay::id::Id;
 use vitis_overlay::estimate::SizeEstimator;
+use vitis_overlay::id::Id;
 use vitis_overlay::peer_sampling::{Cyclon, Newscast, PeerSampling};
 use vitis_overlay::routing::next_hop;
 use vitis_overlay::rt::{build_exchange_buffer, select_neighbors, HybridRt, RtParams};
+use vitis_sim::antientropy::{self, AeConfig, AntiEntropy};
 use vitis_sim::event::NodeIdx;
 use vitis_sim::prelude::{Context, MsgTag, ParallelProtocol, Protocol, StopReason};
 use vitis_sim::rng::mix64;
@@ -80,6 +81,9 @@ pub struct VitisNode {
     round: u64,
     /// Ring-density network-size estimator (used when configured).
     size_est: SizeEstimator,
+    /// Anti-entropy repair layer (digest exchange + pull recovery).
+    /// Default-off: inert unless enabled via [`VitisNode::with_repair`].
+    ae: AntiEntropy<Notification>,
 }
 
 impl VitisNode {
@@ -115,7 +119,20 @@ impl VitisNode {
             pending_pubs: HashSet::new(),
             round: 0,
             size_est: SizeEstimator::default(),
+            ae: AntiEntropy::new(AeConfig::default()),
         }
+    }
+
+    /// Configure the anti-entropy repair layer (builder-style; the
+    /// default configuration keeps it off and inert).
+    pub fn with_repair(mut self, cfg: AeConfig) -> Self {
+        self.ae = AntiEntropy::new(cfg);
+        self
+    }
+
+    /// The anti-entropy repair state (tests/telemetry).
+    pub fn repair(&self) -> &AntiEntropy<Notification> {
+        &self.ae
     }
 
     /// The node's current network-size estimate: the ring-density estimate
@@ -173,8 +190,7 @@ impl VitisNode {
     /// change propagates with the next profile heartbeat.
     pub fn set_subscriptions(&mut self, subs: Subs) {
         self.subs = subs;
-        self.proposals
-            .retain(|t, _| self.subs.contains(*t));
+        self.proposals.retain(|t, _| self.subs.contains(*t));
     }
 
     fn self_entry(&self) -> Entry<Subs> {
@@ -309,7 +325,13 @@ impl VitisNode {
         }
     }
 
-    fn on_relay_request(&mut self, ctx: &mut Context<'_, VitisMsg>, from: NodeIdx, topic: TopicId, hops: u32) {
+    fn on_relay_request(
+        &mut self,
+        ctx: &mut Context<'_, VitisMsg>,
+        from: NodeIdx,
+        topic: TopicId,
+        hops: u32,
+    ) {
         self.relays.add_downstream(topic, from);
         if hops >= self.cfg.max_lookup_hops {
             return;
@@ -319,7 +341,13 @@ impl VitisNode {
                 self.relays.set_upstream(topic, next);
                 self.monitor
                     .record_control_tx(self.addr, wire::RELAY_REQUEST_BYTES);
-                ctx.send(next, VitisMsg::RelayRequest { topic, hops: hops + 1 });
+                ctx.send(
+                    next,
+                    VitisMsg::RelayRequest {
+                        topic,
+                        hops: hops + 1,
+                    },
+                );
             }
             None => self.relays.mark_rendezvous(topic),
         }
@@ -361,7 +389,12 @@ impl VitisNode {
         }
     }
 
-    fn on_notification(&mut self, ctx: &mut Context<'_, VitisMsg>, from: NodeIdx, notif: Notification) {
+    fn on_notification(
+        &mut self,
+        ctx: &mut Context<'_, VitisMsg>,
+        from: NodeIdx,
+        notif: Notification,
+    ) {
         let interested = self.subs.contains(notif.topic);
         self.monitor.record_data_rx(self.addr, interested);
         // Retry hardening: gateways and relay holders acknowledge copies
@@ -389,6 +422,21 @@ impl VitisNode {
                 notif.hops,
                 ctx.now,
                 &path_here,
+            );
+        }
+        // Repair layer: cache the copy for re-serving to pulling peers
+        // (and cancel any pull of our own for it).
+        if self.ae.enabled() {
+            self.ae.insert(
+                notif.event.0,
+                notif.topic.0,
+                Notification {
+                    event: notif.event,
+                    topic: notif.topic,
+                    hops: notif.hops,
+                    path: path_here.clone(),
+                },
+                self.round,
             );
         }
         // TTL hardening: deliver locally but stop forwarding once the copy
@@ -433,8 +481,59 @@ impl VitisNode {
         }
     }
 
+    /// A repair push arrived: deliver as a distinct `recovered` class and
+    /// cache it for onward repair, but never inject it into the normal
+    /// flood — recovered copies spread only through further digest
+    /// exchanges, so repair traffic stays pull-bounded.
+    fn on_recovery(&mut self, ctx: &mut Context<'_, VitisMsg>, notif: Notification) {
+        let interested = self.subs.contains(notif.topic);
+        self.monitor.record_data_rx(self.addr, interested);
+        if !self.seen.insert(notif.event) {
+            // Duplicate recovery: another pull (or the flood itself) won
+            // the race. The monitor would ignore the re-delivery anyway;
+            // just retire any leftover want.
+            self.ae.satisfy(notif.event.0);
+            return;
+        }
+        let path_here = notif.path.extend(self.addr);
+        if interested {
+            self.monitor.record_delivery_recovered(
+                notif.event,
+                self.addr,
+                notif.hops,
+                ctx.now,
+                &path_here,
+            );
+        }
+        self.ae.insert(
+            notif.event.0,
+            notif.topic.0,
+            Notification {
+                event: notif.event,
+                topic: notif.topic,
+                hops: notif.hops,
+                path: path_here,
+            },
+            self.round,
+        );
+    }
+
     fn on_publish(&mut self, ctx: &mut Context<'_, VitisMsg>, event: EventId, topic: TopicId) {
         self.seen.insert(event);
+        if self.ae.enabled() {
+            // The publisher itself can answer pulls for its own events.
+            self.ae.insert(
+                event.0,
+                topic.0,
+                Notification {
+                    event,
+                    topic,
+                    hops: 0,
+                    path: HopPath::origin(self.addr),
+                },
+                self.round,
+            );
+        }
         let notif = Notification {
             event,
             topic,
@@ -499,7 +598,8 @@ impl VitisNode {
 
 /// Parallel-execution support: the node's only shared sink is the
 /// evaluation [`Monitor`], whose handler-side writes buffer as
-/// [`MonitorOp`]s while deferred and replay in serial event order on the
+/// [`crate::monitor::MonitorOp`]s while deferred and replay in serial
+/// event order on the
 /// engine thread.
 impl ParallelProtocol for VitisNode {
     type Deferred = Vec<crate::monitor::MonitorOp>;
@@ -532,12 +632,18 @@ impl Protocol for VitisNode {
             VitisMsg::PublishCmd { .. } => MsgTag::data("publish_cmd"),
             VitisMsg::PubAck { .. } => MsgTag::control("pub_ack"),
             VitisMsg::RetryPublish { .. } => MsgTag::control("retry_pub"),
+            VitisMsg::AeDigest(_) => MsgTag::control("ae_digest"),
+            VitisMsg::AeWant(_) => MsgTag::control("ae_want"),
+            VitisMsg::AePush(_) => MsgTag::data("ae_push"),
         }
     }
 
     fn event_of(msg: &VitisMsg) -> Option<u64> {
         match msg {
             VitisMsg::Notification(n) => Some(n.event.0),
+            // A lost recovery push is a lost copy of its event too — the
+            // net-drop attribution treats repair and flood alike.
+            VitisMsg::AePush(n) => Some(n.event.0),
             _ => None,
         }
     }
@@ -573,7 +679,11 @@ impl Protocol for VitisNode {
             use rand::Rng;
             let ring_pick = if ctx.rng.gen_bool(0.5) {
                 match (&self.rt.succ, &self.rt.pred) {
-                    (Some(s), Some(p)) => Some(if ctx.rng.gen_bool(0.5) { s.addr } else { p.addr }),
+                    (Some(s), Some(p)) => Some(if ctx.rng.gen_bool(0.5) {
+                        s.addr
+                    } else {
+                        p.addr
+                    }),
                     (Some(s), None) => Some(s.addr),
                     (None, Some(p)) => Some(p.addr),
                     (None, None) => None,
@@ -659,6 +769,34 @@ impl Protocol for VitisNode {
             self.monitor.record_control_tx(self.addr, pm_bytes);
             ctx.send(nbr, VitisMsg::Profile(pm.clone()));
         }
+
+        // 7. Anti-entropy repair: retry outstanding pulls, then gossip a
+        //    digest of the recent-event cache to a small random neighbor
+        //    sample. Entirely inert — no sends, no RNG draws — unless the
+        //    layer is enabled, so default runs stay bit-identical.
+        if self.ae.enabled() {
+            self.ae.tick(self.round);
+            for (target, ids) in self.ae.due_pulls(self.round) {
+                self.monitor
+                    .record_control_tx(self.addr, ids.len() as u64 * antientropy::WANT_ID_BYTES);
+                ctx.send(target, VitisMsg::AeWant(ids));
+            }
+            if let Some(entries) = self.ae.digest(self.round) {
+                // Digest over the connection set: table plus reverse links.
+                let mut nbrs = self.rt.addrs();
+                for (&a, _) in &self.reverse {
+                    if !nbrs.contains(&a) {
+                        nbrs.push(a);
+                    }
+                }
+                let bytes = entries.len() as u64 * antientropy::DIGEST_ENTRY_BYTES;
+                let entries = Arc::new(entries);
+                for t in self.ae.pick_targets(&nbrs, ctx.rng) {
+                    self.monitor.record_control_tx(self.addr, bytes);
+                    ctx.send(t, VitisMsg::AeDigest(entries.clone()));
+                }
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, VitisMsg>, from: NodeIdx, msg: VitisMsg) {
@@ -729,6 +867,38 @@ impl Protocol for VitisNode {
                 attempt,
             } => {
                 self.on_retry_publish(ctx, event, topic, attempt);
+            }
+            VitisMsg::AeDigest(entries) => {
+                let subs = self.subs.clone();
+                let seen = &self.seen;
+                let wants = self.ae.on_digest(
+                    from,
+                    &entries,
+                    self.round,
+                    |t| subs.contains(TopicId(t)),
+                    |e| seen.contains(&EventId(e)),
+                );
+                if !wants.is_empty() {
+                    self.monitor.record_control_tx(
+                        self.addr,
+                        wants.len() as u64 * antientropy::WANT_ID_BYTES,
+                    );
+                    ctx.send(from, VitisMsg::AeWant(wants));
+                }
+            }
+            VitisMsg::AeWant(ids) => {
+                for (_, _, cached) in self.ae.serve(&ids) {
+                    let push = Notification {
+                        hops: cached.hops + 1,
+                        ..cached
+                    };
+                    self.monitor
+                        .record_forward(push.event, self.addr, from, push.hops, ctx.now);
+                    ctx.send(from, VitisMsg::AePush(push));
+                }
+            }
+            VitisMsg::AePush(notif) => {
+                self.on_recovery(ctx, notif);
             }
         }
     }
@@ -878,7 +1048,12 @@ mod tests {
 
     #[test]
     fn relay_soft_state_expires_without_refresh() {
-        let (mut eng, _) = build_net(32, |i| if i < 16 { vec![0] } else { vec![] }, 1, small_cfg());
+        let (mut eng, _) = build_net(
+            32,
+            |i| if i < 16 { vec![0] } else { vec![] },
+            1,
+            small_cfg(),
+        );
         eng.run_rounds(20);
         // Unsubscribe everyone: gateways stop refreshing, relays must decay.
         let idxs = eng.alive_indices();

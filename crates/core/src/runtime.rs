@@ -64,6 +64,14 @@ pub trait PubSub {
     /// Metrics since the last reset.
     fn stats(&self) -> PubSubStats;
 
+    /// First-arrival deliveries that came in through the anti-entropy
+    /// repair layer rather than the protocol's own dissemination.
+    /// Cumulative over the system's lifetime (never reset); zero whenever
+    /// repair is disabled.
+    fn recovered_deliveries(&self) -> u64 {
+        0
+    }
+
     /// Clear the measurement window (end of warmup).
     fn reset_metrics(&mut self);
 
@@ -296,8 +304,13 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
     fn make_node(&mut self, logical: u32) -> P::Node {
         let subs = self.workload.subs_of(logical).clone();
         let bootstrap = self.bootstrap_entries();
-        self.protocol
-            .make_node(logical, subs, bootstrap, self.workload.rates(), &self.monitor)
+        self.protocol.make_node(
+            logical,
+            subs,
+            bootstrap,
+            self.workload.rates(),
+            &self.monitor,
+        )
     }
 
     /// Sample bootstrap contacts among currently online nodes (the
@@ -338,6 +351,13 @@ impl<P: PubSubProtocol> SystemRuntime<P> {
     /// The shared monitor (e.g. for custom event registration in tests).
     pub fn monitor(&self) -> &Monitor {
         &self.monitor
+    }
+
+    /// First-arrival deliveries that came in through the anti-entropy
+    /// repair layer rather than the protocol's own dissemination. Zero
+    /// whenever repair is disabled.
+    pub fn recovered_deliveries(&self) -> u64 {
+        self.monitor.recovered_deliveries()
     }
 
     /// The underlying engine (read access for snapshots).
@@ -561,6 +581,10 @@ impl<P: PubSubProtocol> PubSub for SystemRuntime<P> {
         self.monitor
             .snapshot()
             .with_kind_traffic(&self.engine.kind_traffic())
+    }
+
+    fn recovered_deliveries(&self) -> u64 {
+        SystemRuntime::recovered_deliveries(self)
     }
 
     fn reset_metrics(&mut self) {

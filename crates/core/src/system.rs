@@ -21,6 +21,7 @@ use std::sync::Arc;
 use vitis_overlay::entry::Entry;
 use vitis_overlay::graph::Graph;
 use vitis_overlay::id::Id;
+use vitis_sim::antientropy::AeConfig;
 use vitis_sim::event::NodeIdx;
 use vitis_sim::fault::FaultPlan;
 use vitis_sim::rng::{domain, stream_rng};
@@ -117,6 +118,11 @@ pub struct SystemParams {
     /// for crash/freeze episodes, to the engine's node population. The
     /// empty plan (default) is bit-identical to a fault-free run.
     pub faults: FaultPlan,
+    /// Anti-entropy repair layer (digest exchange + pull recovery),
+    /// threaded into every node of whichever protocol runs on these
+    /// params. Disabled by default — the off configuration is
+    /// bit-identical to a build without the layer.
+    pub repair: AeConfig,
 }
 
 impl SystemParams {
@@ -140,6 +146,7 @@ impl SystemParams {
             grace: Duration(0),
             network: NetworkSpec::default(),
             faults: FaultPlan::empty(),
+            repair: AeConfig::default(),
         }
     }
 }
@@ -151,6 +158,7 @@ pub type VitisSystem = SystemRuntime<VitisProtocol>;
 /// rendezvous-aware loss classification, ring + view-age structure probe.
 pub struct VitisProtocol {
     cfg: Arc<VitisConfig>,
+    repair: AeConfig,
 }
 
 impl VitisProtocol {
@@ -224,6 +232,7 @@ impl PubSubProtocol for VitisProtocol {
         params.cfg.validate();
         VitisProtocol {
             cfg: Arc::new(params.cfg.clone()),
+            repair: params.repair.clone(),
         }
     }
 
@@ -243,6 +252,7 @@ impl PubSubProtocol for VitisProtocol {
             monitor.clone(),
             bootstrap,
         )
+        .with_repair(self.repair.clone())
     }
 
     fn describe(node: &VitisNode) -> (Id, Subs) {
@@ -334,11 +344,7 @@ impl PubSubProtocol for VitisProtocol {
 pub fn random_system(n: usize, topics: usize, subs_per_node: usize, seed: u64) -> VitisSystem {
     let mut rng = stream_rng(seed, domain::WORKLOAD, 1);
     let subscriptions: Vec<TopicSet> = (0..n)
-        .map(|_| {
-            TopicSet::from_iter(
-                (0..subs_per_node).map(|_| rng.gen_range(0..topics as u32)),
-            )
-        })
+        .map(|_| TopicSet::from_iter((0..subs_per_node).map(|_| rng.gen_range(0..topics as u32))))
         .collect();
     let mut params = SystemParams::new(subscriptions, topics);
     params.seed = seed;
@@ -524,7 +530,9 @@ mod tests {
         for ev in t.events() {
             match ev {
                 TraceEvent::PubEvent { event, .. } if *event == e.0 => pub_seen = true,
-                TraceEvent::DeliverEvent { event, path, hops, .. } if *event == e.0 => {
+                TraceEvent::DeliverEvent {
+                    event, path, hops, ..
+                } if *event == e.0 => {
                     delivers += 1;
                     // Path carries publisher..=subscriber: hops+1 slots.
                     let len = path.split('>').count() as u32;
@@ -547,7 +555,10 @@ mod tests {
         let params = SystemParams::new(subs, 2);
         let mut sys = VitisSystem::new(params);
         sys.run_rounds(2);
-        assert!(sys.publish(TopicId(1)).is_none(), "topic 1 has no subscribers");
+        assert!(
+            sys.publish(TopicId(1)).is_none(),
+            "topic 1 has no subscribers"
+        );
         assert!(sys.publish(TopicId(0)).is_some());
     }
 
@@ -587,10 +598,7 @@ mod tests {
 
     #[test]
     fn params_clone_shares_subscription_storage() {
-        let sys_params = SystemParams::new(
-            vec![TopicSet::from_iter([0u32, 1]); 8],
-            2,
-        );
+        let sys_params = SystemParams::new(vec![TopicSet::from_iter([0u32, 1]); 8], 2);
         let cloned = sys_params.clone();
         for (a, b) in sys_params.subscriptions.iter().zip(&cloned.subscriptions) {
             assert!(Arc::ptr_eq(a, b), "clone must share interned topic sets");

@@ -25,6 +25,9 @@ pub struct Delivery {
     pub latency: u64,
     /// `>`-joined causal path from publisher to subscriber.
     pub path: String,
+    /// Whether the first copy arrived through the anti-entropy repair
+    /// layer rather than the protocol's own dissemination.
+    pub recovered: bool,
 }
 
 /// One event's reconstructed dissemination record.
@@ -60,6 +63,9 @@ pub struct RunForensics {
     /// `(capacity, recorded, evicted)` from the run's `trace_meta`
     /// record; `evicted > 0` means the forensics below are incomplete.
     pub meta: Option<(u64, u64, u64)>,
+    /// Reconvergence records `(system, severity %, repair on, rounds)`;
+    /// `rounds` is `None` for runs that never re-entered the band.
+    pub reconv: Vec<(String, u32, bool, Option<u64>)>,
 }
 
 /// A parsed trace file: per-run forensics plus parse accounting.
@@ -114,22 +120,32 @@ pub fn parse_trace(text: &str) -> TraceFile {
                 to,
                 hop,
                 ..
-            } => rf.events.entry(event).or_default().fwds.push((from, to, hop)),
+            } => rf
+                .events
+                .entry(event)
+                .or_default()
+                .fwds
+                .push((from, to, hop)),
             TraceEvent::DeliverEvent {
                 event,
                 node,
                 hops,
                 latency,
                 path,
+                recovered,
                 ..
             } => rf.events.entry(event).or_default().delivers.push(Delivery {
                 node,
                 hops,
                 latency,
                 path,
+                recovered,
             }),
             TraceEvent::DropEvent {
-                event, node, reason, ..
+                event,
+                node,
+                reason,
+                ..
             } => rf
                 .events
                 .entry(event)
@@ -147,6 +163,14 @@ pub fn parse_trace(text: &str) -> TraceFile {
                 recorded,
                 evicted,
             } => rf.meta = Some((capacity, recorded, evicted)),
+            TraceEvent::Reconv {
+                system,
+                severity_pct,
+                repair,
+                rounds,
+            } => rf
+                .reconv
+                .push((system.into_owned(), severity_pct, repair, rounds)),
             _ => tf.other_events += 1,
         }
     }
@@ -206,6 +230,36 @@ pub fn report(tf: &TraceFile) -> String {
                 "in-transit drops: {net_drops} lost cop(ies) — informational; \
                  resulting misses appear under reason `network`"
             );
+        }
+        let recovered: u64 = rf
+            .events
+            .values()
+            .map(|e| e.delivers.iter().filter(|d| d.recovered).count() as u64)
+            .sum();
+        if recovered > 0 {
+            let _ = writeln!(
+                o,
+                "recovered deliveries: {recovered} of {delivered} arrived through \
+                 the anti-entropy repair layer"
+            );
+        }
+        for (system, severity_pct, repair, rounds) in &rf.reconv {
+            let ae = if *repair { "repair on" } else { "repair off" };
+            match rounds {
+                Some(r) => {
+                    let _ = writeln!(
+                        o,
+                        "reconvergence: {system} at {severity_pct}% isolated ({ae}) — {r} round(s)"
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        o,
+                        "reconvergence: {system} at {severity_pct}% isolated ({ae}) — UNRECOVERED \
+                         within the observation window"
+                    );
+                }
+            }
         }
 
         // Delivery-tree shape over all reconstructed events.
@@ -345,6 +399,17 @@ mod tests {
         )
     }
 
+    fn repair_trace() -> String {
+        concat!(
+            "{\"run\":\"res/vitis+ae-s0.25#0\",\"type\":\"pub_event\",\"now\":10,\"event\":1,\"topic\":3,\"node\":0,\"expected\":2}\n",
+            "{\"run\":\"res/vitis+ae-s0.25#0\",\"type\":\"deliver_event\",\"now\":12,\"event\":1,\"node\":5,\"hops\":1,\"latency\":2,\"path\":\"0>5\"}\n",
+            "{\"run\":\"res/vitis+ae-s0.25#0\",\"type\":\"deliver_event\",\"now\":40,\"event\":1,\"node\":7,\"hops\":2,\"latency\":30,\"path\":\"0>5>7\",\"recovered\":true}\n",
+            "{\"run\":\"res/vitis+ae-s0.25#0\",\"type\":\"reconv\",\"system\":\"vitis\",\"severity_pct\":25,\"repair\":true,\"rounds\":9}\n",
+            "{\"run\":\"res/rvr-s0.5#0\",\"type\":\"reconv\",\"system\":\"rvr\",\"severity_pct\":50,\"repair\":false,\"rounds\":null}\n",
+        )
+        .to_string()
+    }
+
     #[test]
     fn parse_groups_by_run_and_event() {
         let tf = parse_trace(sample_trace());
@@ -388,6 +453,33 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         assert!(report(&parse_trace(&truncated)).contains("MISMATCH"));
+    }
+
+    #[test]
+    fn recovered_deliveries_and_reconv_records_render() {
+        let tf = parse_trace(&repair_trace());
+        let rf = &tf.runs["res/vitis+ae-s0.25#0"];
+        assert_eq!(rf.events[&1].delivers.len(), 2);
+        assert!(rf.events[&1].delivers[1].recovered);
+        assert!(!rf.events[&1].delivers[0].recovered);
+        assert_eq!(rf.reconv, vec![("vitis".to_string(), 25, true, Some(9))]);
+        assert_eq!(
+            tf.runs["res/rvr-s0.5#0"].reconv,
+            vec![("rvr".to_string(), 50, false, None)]
+        );
+        let r = report(&tf);
+        assert!(
+            r.contains("recovered deliveries: 1 of 2"),
+            "repair split rendered:\n{r}"
+        );
+        assert!(
+            r.contains("reconvergence: vitis at 25% isolated (repair on) — 9 round(s)"),
+            "recovered run rendered:\n{r}"
+        );
+        assert!(
+            r.contains("reconvergence: rvr at 50% isolated (repair off) — UNRECOVERED"),
+            "unrecovered run rendered explicitly:\n{r}"
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@
 
 use std::process::ExitCode;
 use vitis_experiments::obs::Obs;
-use vitis_experiments::{ablations, clusters, headline, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8_9, Scale};
+use vitis_experiments::{
+    ablations, clusters, fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8_9, headline, Scale,
+};
 use vitis_sim::perf;
 
 fn main() -> ExitCode {
@@ -87,7 +89,12 @@ fn main() -> ExitCode {
             "--paper" => preset = Some("paper"),
             "--quick" => preset = Some("quick"),
             "--help" | "-h" => return usage(""),
-            f if f.starts_with("fig") || f == "all" || f == "ablations" || f == "clusters" || f == "headline" => {
+            f if f.starts_with("fig")
+                || f == "all"
+                || f == "ablations"
+                || f == "clusters"
+                || f == "headline" =>
+            {
                 figures.push(f.to_string())
             }
             other => return usage(&format!("unknown argument: {other}")),
@@ -197,6 +204,12 @@ fn report_sinks() {
              evicted in total (raise --trace-capacity)"
         );
     }
+    if let Some(dropped) = vitis_sim::antientropy::exhausted_pull_status() {
+        eprintln!(
+            "warning: anti-entropy gave up on {dropped} pull(s) after exhausting \
+             their retry budget (raise pull_retries or cache_rounds)"
+        );
+    }
 }
 
 /// Write the span profiler's aggregate and the memory accounting snapshot
@@ -281,7 +294,11 @@ fn run_scale(args: &[String]) -> ExitCode {
     let streaming = trace_w.is_some();
     println!(
         "# Vitis scale sweep — up to {max_nodes} nodes, seed {seed}, allocator accounting {}",
-        if perf::mem_snapshot().counting { "on" } else { "off (build with --features perf-alloc)" }
+        if perf::mem_snapshot().counting {
+            "on"
+        } else {
+            "off (build with --features perf-alloc)"
+        }
     );
 
     // Each point gets a fresh shared trace; its events stream to the
@@ -348,6 +365,7 @@ fn run_resilience(args: &[String]) -> ExitCode {
     let mut seed: u64 = 42;
     let mut preset: Option<&str> = None;
     let mut metrics_out: Option<String> = None;
+    let mut repair = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -365,6 +383,8 @@ fn run_resilience(args: &[String]) -> ExitCode {
             },
             "--paper" => preset = Some("paper"),
             "--quick" => preset = Some("quick"),
+            "--repair" => repair = true,
+            "--no-repair" => repair = false,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unexpected argument: {other}")),
         }
@@ -386,11 +406,20 @@ fn run_resilience(args: &[String]) -> ExitCode {
     }
     scale.seed = seed;
     println!(
-        "# Vitis resilience sweep — scale: {} nodes, {} topics, {} subs/node, seed {}\n",
-        scale.nodes, scale.topics, scale.subs_per_node, scale.seed
+        "# Vitis resilience sweep — scale: {} nodes, {} topics, {} subs/node, seed {}{}\n",
+        scale.nodes,
+        scale.topics,
+        scale.subs_per_node,
+        scale.seed,
+        if repair {
+            ", paired anti-entropy runs"
+        } else {
+            ""
+        }
     );
-    let (hit, rec) = vitis_experiments::resilience::run(&scale);
-    print!("{}\n{}\n", hit.render(), rec.render());
+    for fig in vitis_experiments::resilience::run(&scale, repair) {
+        print!("{}\n", fig.render());
+    }
     report_sinks();
     ExitCode::SUCCESS
 }
@@ -545,7 +574,10 @@ fn usage(err: &str) -> ExitCode {
          \t(delivery forensics: per-event trees, hop/latency percentiles, loss attribution)\n\
          \n\
          \tvitis-experiments resilience [--nodes N] [--seed S] [--quick | --paper] [--metrics-out FILE.jsonl]\n\
-         \t(partition-severity sweep: hit ratio during the episode + reconvergence time after heal)\n\
+         \t\t[--repair | --no-repair]\n\
+         \t(partition-severity sweep: hit ratio during the episode + reconvergence time after heal;\n\
+         \t --repair runs every point twice at identical seeds — anti-entropy off and on — and adds\n\
+         \t the repair cost/effect figure)\n\
          \n\
          \tvitis-experiments topology [--nodes N] [--seed S] [--system vitis|rvr|opt]\n\
          \t\t[--rounds R] [--every K] [--out TOPO.jsonl] [--dot FILE.dot] [--strict]\n\

@@ -16,12 +16,13 @@ use crate::report::{Figure, Series};
 use crate::runner::synthetic_params;
 use crate::scale::Scale;
 use rayon::prelude::*;
-use vitis::monitor::ReconvergenceTracker;
+use vitis::monitor::{LossReason, PubSubStats, ReconvergenceTracker};
 use vitis::runtime::TOPO_SAMPLE_TOPICS;
 use vitis::system::{PubSub, SystemParams, VitisSystem};
 use vitis::topic::TopicId;
 use vitis::topo::{probe, TopoProbe};
 use vitis_baselines::{OptSystem, RvrSystem};
+use vitis_sim::antientropy::AeConfig;
 use vitis_sim::fault::{FaultEpisode, FaultPlan, Span};
 use vitis_sim::time::SimTime;
 use vitis_sim::trace::{event_to_json, TraceEvent};
@@ -48,6 +49,11 @@ pub struct ResiliencePlan {
     pub events_per_window: usize,
     /// Reconvergence band: recovered once `hit ≥ baseline − tolerance`.
     pub tolerance: f64,
+    /// Rounds between the heal and the fault-loss attribution pass. The
+    /// episode-published events stay registered through this grace, so a
+    /// repair layer (when enabled) gets a chance to pull fault-time
+    /// losses back before they are attributed.
+    pub repair_grace_rounds: u64,
 }
 
 impl ResiliencePlan {
@@ -62,6 +68,7 @@ impl ResiliencePlan {
             window_rounds: 3,
             events_per_window: scale.topics.min(20),
             tolerance: 0.02,
+            repair_grace_rounds: 6,
         }
     }
 
@@ -97,13 +104,24 @@ pub struct ResilienceOutcome {
     pub severity: f64,
     /// Mean hit ratio over the pre-fault baseline windows.
     pub baseline_hit: f64,
-    /// Mean hit ratio over the episode windows.
+    /// Hit ratio pooled over the episode windows (one measurement window
+    /// spanning the whole episode, taken at the heal).
     pub episode_hit: f64,
     /// Hit ratio of the last observed post-heal window.
     pub recovered_hit: f64,
     /// Rounds from heal until the hit ratio re-entered the tolerance
     /// band, or `None` if it never did within the observation horizon.
     pub recovery_rounds: Option<f64>,
+    /// `LossReason::Network` misses among the episode-published events,
+    /// attributed [`ResiliencePlan::repair_grace_rounds`] after the heal
+    /// — the fault-time loss gap the repair layer exists to close.
+    pub fault_net_losses: u64,
+    /// First-arrival deliveries that came in through the repair layer
+    /// (cumulative over the run; zero with repair off).
+    pub recovered_deliveries: u64,
+    /// Anti-entropy messages sent (`ae_digest` + `ae_want` + `ae_push`)
+    /// across all measurement windows — the repair wire-cost.
+    pub repair_msgs: u64,
 }
 
 /// Per-round overlay-health series of one resilience run: structural
@@ -142,26 +160,45 @@ impl TopoTrack {
     }
 }
 
-/// One measurement window: publish the batch round-robin over topics,
-/// run the window round by round (probing overlay health after each),
-/// return the window's hit ratio.
-fn window_hit(
+/// Publish one window's event batch round-robin over topics.
+fn publish_window(
+    sys: &mut dyn PubSub,
+    plan: &ResiliencePlan,
+    topics: usize,
+    topic_cursor: &mut u32,
+) {
+    for _ in 0..plan.events_per_window {
+        sys.publish(TopicId(*topic_cursor));
+        *topic_cursor = (*topic_cursor + 1) % topics as u32;
+    }
+}
+
+/// One measurement window: publish the batch, run the window round by
+/// round (probing overlay health after each), return the window's stats.
+fn window_stats(
     sys: &mut dyn PubSub,
     plan: &ResiliencePlan,
     topics: usize,
     topic_cursor: &mut u32,
     topo: &mut TopoTrack,
-) -> f64 {
+) -> PubSubStats {
     sys.reset_metrics();
-    for _ in 0..plan.events_per_window {
-        sys.publish(TopicId(*topic_cursor));
-        *topic_cursor = (*topic_cursor + 1) % topics as u32;
-    }
+    publish_window(sys, plan, topics, topic_cursor);
     for _ in 0..plan.window_rounds {
         sys.run_rounds(1);
         topo.sample(sys);
     }
-    sys.stats().hit_ratio
+    sys.stats()
+}
+
+/// Anti-entropy messages sent in a stats window (the repair wire-cost).
+fn ae_sent(stats: &PubSubStats) -> u64 {
+    stats
+        .traffic_by_kind
+        .iter()
+        .filter(|k| k.kind.starts_with("ae_"))
+        .map(|k| k.sent)
+        .sum()
 }
 
 /// Drive one already-constructed system (whose params carry the matching
@@ -176,23 +213,52 @@ pub fn run_system(
     topo: &mut TopoTrack,
 ) -> ResilienceOutcome {
     let mut cursor = 0u32;
+    let mut repair_msgs = 0u64;
     sys.run_rounds(plan.warmup_rounds);
     topo.sample(sys); // pre-fault structural baseline
     let mut baseline = 0.0;
     for _ in 0..plan.baseline_windows {
-        baseline += window_hit(sys, plan, scale.topics, &mut cursor, topo);
+        let s = window_stats(sys, plan, scale.topics, &mut cursor, topo);
+        baseline += s.hit_ratio;
+        repair_msgs += ae_sent(&s);
     }
     baseline /= plan.baseline_windows.max(1) as f64;
-    let mut episode = 0.0;
+
+    // Episode phase: one pooled measurement window spanning every episode
+    // window, so the events published under the partition stay registered
+    // through the post-heal repair grace and the loss attribution below
+    // observes any repair-layer recoveries.
+    sys.reset_metrics();
     for _ in 0..plan.episode_windows {
-        episode += window_hit(sys, plan, scale.topics, &mut cursor, topo);
+        publish_window(sys, plan, scale.topics, &mut cursor);
+        for _ in 0..plan.window_rounds {
+            sys.run_rounds(1);
+            topo.sample(sys);
+        }
     }
-    episode /= plan.episode_windows.max(1) as f64;
+    let episode = sys.stats().hit_ratio;
+    // The partition heals here; grant the grace before attributing the
+    // fault-time losses.
+    for _ in 0..plan.repair_grace_rounds {
+        sys.run_rounds(1);
+        topo.sample(sys);
+    }
+    let fault_net_losses = sys
+        .loss_report()
+        .by_reason
+        .iter()
+        .filter(|(r, _)| *r == LossReason::Network)
+        .map(|&(_, c)| c)
+        .sum();
+    repair_msgs += ae_sent(&sys.stats());
+
     let heal = SimTime(plan.episode_end_tick(round_period));
     let mut tracker = ReconvergenceTracker::new(baseline, heal, plan.tolerance);
     let mut last = episode;
     for _ in 0..plan.recovery_windows {
-        last = window_hit(sys, plan, scale.topics, &mut cursor, topo);
+        let s = window_stats(sys, plan, scale.topics, &mut cursor, topo);
+        last = s.hit_ratio;
+        repair_msgs += ae_sent(&s);
         tracker.observe(sys.now(), last);
         if tracker.recovered() {
             break;
@@ -206,20 +272,30 @@ pub fn run_system(
         recovery_rounds: tracker
             .recovery_time()
             .map(|d| d.ticks() as f64 / round_period as f64),
+        fault_net_losses,
+        recovered_deliveries: sys.recovered_deliveries(),
+        repair_msgs,
     }
 }
 
-/// Construct the named system over `params` and run the timeline.
+/// Construct the named system over `params` and run the timeline. With
+/// `repair` on, every node runs the anti-entropy layer at its default
+/// (enabled) configuration.
 pub fn run_point(
     system: &str,
     plan: &ResiliencePlan,
     scale: &Scale,
     severity: f64,
+    repair: bool,
 ) -> ResilienceOutcome {
     let mut params: SystemParams = synthetic_params(scale, Correlation::Low);
     let period = params.round_period.ticks();
     params.faults = plan.fault_plan(severity, scale.nodes, period);
-    let mut ctx = Obs::global().start("resilience", &format!("{system}-s{severity}"));
+    if repair {
+        params.repair = AeConfig::on();
+    }
+    let tag = if repair { "+ae" } else { "" };
+    let mut ctx = Obs::global().start("resilience", &format!("{system}{tag}-s{severity}"));
     let mut sys: Box<dyn PubSub> = match system {
         "vitis" => {
             // Hardening on: retries re-flood unacknowledged publishes
@@ -248,6 +324,20 @@ pub fn run_point(
             )
         }));
     }
+    // The reconvergence record: `rounds` stays `null` for runs that never
+    // re-entered the band, so downstream analysis can tell "never
+    // recovered" from "recovered slowly" (no sentinel values).
+    if Obs::global().metrics_on() {
+        Obs::global().push_metrics_lines(std::iter::once(crate::obs::stamp_run(
+            &ctx.run,
+            &event_to_json(&TraceEvent::Reconv {
+                system: system.to_string().into(),
+                severity_pct: (100.0 * severity).round() as u32,
+                repair,
+                rounds: outcome.recovery_rounds.map(|r| r.round() as u64),
+            }),
+        )));
+    }
     let stats = sys.stats();
     ctx.record_perf(sys.perf_counters(), sys.footprint_estimate());
     ctx.finish(scale, &stats);
@@ -255,16 +345,24 @@ pub fn run_point(
 }
 
 /// Sweep severity across all three systems; returns the
-/// `(hit-ratio-vs-severity, recovery-time-vs-severity)` figures.
-pub fn run(scale: &Scale) -> (Figure, Figure) {
+/// hit-ratio-vs-severity and recovery-time-vs-severity figures, plus —
+/// when `repair` is on — the repair cost/effect figure. With `repair`
+/// on, every `(system, severity)` point runs twice at identical seeds
+/// (anti-entropy off and on), so the figures carry paired curves.
+pub fn run(scale: &Scale, repair: bool) -> Vec<Figure> {
     let plan = ResiliencePlan::for_scale(scale);
-    let points: Vec<(&str, f64)> = ["vitis", "rvr", "opt"]
+    let modes: &[bool] = if repair { &[false, true] } else { &[false] };
+    let points: Vec<(&str, f64, bool)> = ["vitis", "rvr", "opt"]
         .iter()
-        .flat_map(|&s| plan.severities.iter().map(move |&sev| (s, sev)))
+        .flat_map(|&s| {
+            plan.severities
+                .iter()
+                .flat_map(move |&sev| modes.iter().map(move |&ae| (s, sev, ae)))
+        })
         .collect();
-    let outcomes: Vec<(&str, ResilienceOutcome)> = points
+    let outcomes: Vec<(&str, bool, ResilienceOutcome)> = points
         .par_iter()
-        .map(|&(system, sev)| (system, run_point(system, &plan, scale, sev)))
+        .map(|&(system, sev, ae)| (system, ae, run_point(system, &plan, scale, sev, ae)))
         .collect();
 
     let mut hit = Figure::new(
@@ -272,45 +370,99 @@ pub fn run(scale: &Scale) -> (Figure, Figure) {
         "% of nodes isolated",
         "hit ratio % (episode windows)",
     );
-    let cap = (plan.recovery_windows * plan.window_rounds) as f64;
     let mut rec = Figure::new(
         "Resilience: reconvergence time after the partition heals",
         "% of nodes isolated",
         "rounds to re-enter the baseline band",
     );
+    let mut cost = Figure::new(
+        "Resilience: anti-entropy repair cost and effect",
+        "% of nodes isolated",
+        "messages / deliveries per run",
+    );
     for name in ["vitis", "rvr", "opt"] {
-        let label = match name {
-            "vitis" => "Vitis",
-            "rvr" => "RVR",
-            _ => "OPT",
-        };
-        let mine: Vec<&ResilienceOutcome> = outcomes
-            .iter()
-            .filter(|(s, _)| *s == name)
-            .map(|(_, o)| o)
-            .collect();
-        hit.push_series(Series::new(
-            label,
-            mine.iter()
-                .map(|o| (100.0 * o.severity, 100.0 * o.episode_hit))
-                .collect(),
-        ));
-        rec.push_series(Series::new(
-            label,
-            mine.iter()
-                .map(|o| (100.0 * o.severity, o.recovery_rounds.unwrap_or(cap)))
-                .collect(),
-        ));
+        for &ae in modes {
+            let label = match (name, ae) {
+                ("vitis", false) => "Vitis",
+                ("vitis", true) => "Vitis+AE",
+                ("rvr", false) => "RVR",
+                ("rvr", true) => "RVR+AE",
+                (_, false) => "OPT",
+                _ => "OPT+AE",
+            };
+            let mine: Vec<&ResilienceOutcome> = outcomes
+                .iter()
+                .filter(|(s, m, _)| *s == name && *m == ae)
+                .map(|(_, _, o)| o)
+                .collect();
+            hit.push_series(Series::new(
+                label,
+                mine.iter()
+                    .map(|o| (100.0 * o.severity, 100.0 * o.episode_hit))
+                    .collect(),
+            ));
+            // Only the points that actually reconverged are plotted; runs
+            // that never re-entered the band get an explicit note instead
+            // of a sentinel value.
+            rec.push_series(Series::new(
+                label,
+                mine.iter()
+                    .filter_map(|o| o.recovery_rounds.map(|r| (100.0 * o.severity, r)))
+                    .collect(),
+            ));
+            for o in &mine {
+                if o.recovery_rounds.is_none() {
+                    rec.note(format!(
+                        "unrecovered: {label} at {:.0}% isolated never re-entered the band \
+                         within {} post-heal windows",
+                        100.0 * o.severity,
+                        plan.recovery_windows
+                    ));
+                }
+            }
+            if repair {
+                if ae {
+                    cost.push_series(Series::new(
+                        format!("{label} repair msgs"),
+                        mine.iter()
+                            .map(|o| (100.0 * o.severity, o.repair_msgs as f64))
+                            .collect(),
+                    ));
+                    cost.push_series(Series::new(
+                        format!("{label} recovered deliveries"),
+                        mine.iter()
+                            .map(|o| (100.0 * o.severity, o.recovered_deliveries as f64))
+                            .collect(),
+                    ));
+                }
+                for o in &mine {
+                    cost.note(format!(
+                        "fault-time Network losses, {label} at {:.0}%: {}",
+                        100.0 * o.severity,
+                        o.fault_net_losses
+                    ));
+                }
+            }
+        }
     }
     hit.note(format!(
         "baseline windows before the episode; tolerance band {:.0}% of baseline hit ratio",
         100.0 * plan.tolerance
     ));
-    hit.note("Vitis runs with hardening on: publish_retries=2, gateway_failover, max_event_hops=64");
+    hit.note(
+        "Vitis runs with hardening on: publish_retries=2, gateway_failover, max_event_hops=64",
+    );
     rec.note(format!(
-        "values at {cap:.0} rounds never re-entered the band within the observation window"
+        "reconvergence observed for at most {} windows after the heal; unrecovered runs are \
+         listed above, not plotted",
+        plan.recovery_windows
     ));
-    (hit, rec)
+    let mut figs = vec![hit, rec];
+    if repair {
+        cost.note("fault-time losses attributed after the post-heal repair grace; paired runs share seeds");
+        figs.push(cost);
+    }
+    figs
 }
 
 #[cfg(test)]
@@ -344,7 +496,7 @@ mod tests {
         sc.warmup_rounds = 25;
         let plan = ResiliencePlan::for_scale(&sc);
         for system in ["vitis", "rvr", "opt"] {
-            let o = run_point(system, &plan, &sc, 0.25);
+            let o = run_point(system, &plan, &sc, 0.25, false);
             assert!(o.baseline_hit > 0.9, "{system} baseline {}", o.baseline_hit);
             assert!(
                 o.episode_hit < o.baseline_hit,
@@ -432,6 +584,52 @@ mod tests {
         );
     }
 
+    /// The repair layer must close part of the fault-time loss gap: at
+    /// identical seeds, the run with anti-entropy on recovers deliveries
+    /// through pulls, pays a nonzero (bounded) wire-cost, and ends the
+    /// post-heal attribution with strictly fewer `Network` losses.
+    #[test]
+    fn repair_reduces_fault_time_network_losses() {
+        let mut sc = Scale::proportional(150, 19);
+        sc.warmup_rounds = 25;
+        let plan = ResiliencePlan::for_scale(&sc);
+        let off = run_point("vitis", &plan, &sc, 0.25, false);
+        let on = run_point("vitis", &plan, &sc, 0.25, true);
+        assert_eq!(off.recovered_deliveries, 0, "repair off must never recover");
+        assert_eq!(off.repair_msgs, 0, "repair off must send no ae_* traffic");
+        assert!(off.fault_net_losses > 0, "partition must drop something");
+        assert!(on.recovered_deliveries > 0, "repair on must recover");
+        assert!(
+            on.repair_msgs > 0,
+            "repair on must be accounted in the ledger"
+        );
+        assert!(
+            on.fault_net_losses < off.fault_net_losses,
+            "repair must shrink Network losses: {} vs {}",
+            on.fault_net_losses,
+            off.fault_net_losses
+        );
+    }
+
+    #[test]
+    #[ignore = "slow (N=500 acceptance run): cargo test --release -- --ignored"]
+    fn n500_repair_strictly_reduces_network_losses() {
+        let mut sc = Scale::proportional(500, 42);
+        sc.warmup_rounds = 30;
+        let plan = ResiliencePlan::for_scale(&sc);
+        for system in ["vitis", "rvr", "opt"] {
+            let off = run_point(system, &plan, &sc, 0.25, false);
+            let on = run_point(system, &plan, &sc, 0.25, true);
+            assert!(
+                on.fault_net_losses < off.fault_net_losses,
+                "{system}: repair did not shrink Network losses ({} vs {})",
+                on.fault_net_losses,
+                off.fault_net_losses
+            );
+            assert!(on.recovered_deliveries > 0, "{system}: nothing recovered");
+        }
+    }
+
     #[test]
     #[ignore = "slow (N=500 acceptance run): cargo test --release -- --ignored"]
     fn n500_partition_heal_recovers_within_band() {
@@ -439,7 +637,7 @@ mod tests {
         sc.warmup_rounds = 30;
         let plan = ResiliencePlan::for_scale(&sc);
         for system in ["vitis", "rvr", "opt"] {
-            let o = run_point(system, &plan, &sc, 0.25);
+            let o = run_point(system, &plan, &sc, 0.25, false);
             assert!(
                 o.recovery_rounds.is_some(),
                 "{system}: infinite recovery time (last {}, baseline {})",

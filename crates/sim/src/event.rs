@@ -2,13 +2,13 @@
 //!
 //! Two queue implementations live here:
 //!
-//! * [`EventQueue`] — the production scheduler: a bucketed **calendar queue**
+//! * `EventQueue` — the production scheduler: a bucketed **calendar queue**
 //!   with a ring of one-tick buckets plus an overflow list for far-future
 //!   events. Pops are O(1) amortized, and a whole timestamp's worth of
-//!   events can be drained in one dense pass ([`EventQueue::pop_batch`]),
+//!   events can be drained in one dense pass (`EventQueue::pop_batch`),
 //!   which is what lets the engine execute gossip rounds batch-wise instead
 //!   of one heap pop per message.
-//! * [`HeapQueue`] — the original binary min-heap, retained as the reference
+//! * `HeapQueue` — the original binary min-heap, retained as the reference
 //!   implementation for differential tests (the CI smoke job asserts both
 //!   schedulers produce identical event orderings on a randomized trace).
 //!

@@ -357,6 +357,11 @@ pub enum TraceEvent {
         /// subscriber (e.g. `"0>5>12"`); empty when provenance was not
         /// carried.
         path: String,
+        /// `true` when the copy arrived via the anti-entropy repair layer
+        /// (a digest-triggered pull) rather than normal dissemination.
+        /// Serialized only when set, so repair-free traces are
+        /// byte-identical to those of builds without the field.
+        recovered: bool,
     },
     /// A message was lost in transit: the network model dropped it
     /// (loss, partition) or freeze suppression swallowed it. Distinct from
@@ -397,6 +402,21 @@ pub enum TraceEvent {
         now: u64,
         /// The topology sample.
         probe: TopoProbe,
+    },
+    /// Reconvergence outcome of one resilience run: how long after the
+    /// fault healed the system took to re-enter its pre-fault
+    /// hit-ratio band — or an explicit unrecovered marker (`rounds:
+    /// null`) when it never did within the observation horizon. Written
+    /// by the `resilience` sweep instead of a sentinel value.
+    Reconv {
+        /// System label (e.g. `"vitis"`).
+        system: Cow<'static, str>,
+        /// Partition severity as a percentage of nodes cut off.
+        severity_pct: u32,
+        /// Whether the anti-entropy repair layer was enabled.
+        repair: bool,
+        /// Rounds from heal to reconvergence; `None` = never reconverged.
+        rounds: Option<u64>,
     },
     /// Ring-buffer accounting for a run's trace, written by the export
     /// harness so truncation is detectable offline.
@@ -626,7 +646,10 @@ pub fn write_event(out: &mut String, ev: &TraceEvent) {
             kind,
             class,
         } => {
-            let _ = write!(out, "{{\"type\":\"msg_send\",\"now\":{now},\"from\":{from},\"to\":{to},\"kind\":");
+            let _ = write!(
+                out,
+                "{{\"type\":\"msg_send\",\"now\":{now},\"from\":{from},\"to\":{to},\"kind\":"
+            );
             push_json_str(out, kind);
             let _ = write!(out, ",\"class\":\"{}\"}}", class.as_str());
         }
@@ -637,7 +660,10 @@ pub fn write_event(out: &mut String, ev: &TraceEvent) {
             kind,
             class,
         } => {
-            let _ = write!(out, "{{\"type\":\"msg_deliver\",\"now\":{now},\"from\":{from},\"to\":{to},\"kind\":");
+            let _ = write!(
+                out,
+                "{{\"type\":\"msg_deliver\",\"now\":{now},\"from\":{from},\"to\":{to},\"kind\":"
+            );
             push_json_str(out, kind);
             let _ = write!(out, ",\"class\":\"{}\"}}", class.as_str());
         }
@@ -713,12 +739,33 @@ pub fn write_event(out: &mut String, ev: &TraceEvent) {
             hops,
             latency,
             path,
+            recovered,
         } => {
             let _ = write!(
                 out,
                 "{{\"type\":\"deliver_event\",\"now\":{now},\"event\":{event},\"node\":{node},\"hops\":{hops},\"latency\":{latency},\"path\":"
             );
             push_json_str(out, path);
+            // Emitted only when set: repair-free traces keep their exact
+            // historical bytes.
+            if *recovered {
+                out.push_str(",\"recovered\":true");
+            }
+            out.push('}');
+        }
+        TraceEvent::Reconv {
+            system,
+            severity_pct,
+            repair,
+            rounds,
+        } => {
+            let _ = write!(out, "{{\"type\":\"reconv\",\"system\":");
+            push_json_str(out, system);
+            let _ = write!(
+                out,
+                ",\"severity_pct\":{severity_pct},\"repair\":{repair},\"rounds\":"
+            );
+            push_opt_u64(out, *rounds);
             out.push('}');
         }
         TraceEvent::NetDrop {
@@ -767,7 +814,11 @@ pub fn write_event(out: &mut String, ev: &TraceEvent) {
                 probe.rendezvous_conflicts, probe.headless_topics, probe.dead_links,
             );
             push_opt_f64(out, probe.mean_relay_stretch);
-            let _ = write!(out, ",\"max_gateway_load\":{},\"mean_view_age\":", probe.max_gateway_load);
+            let _ = write!(
+                out,
+                ",\"max_gateway_load\":{},\"mean_view_age\":",
+                probe.max_gateway_load
+            );
             push_opt_f64(out, probe.mean_view_age);
             let _ = write!(out, ",\"violations\":{}}}", probe.violations);
         }
@@ -995,6 +1046,16 @@ fn req_opt_f64(
     }
 }
 
+/// An optional boolean field: absent parses as `false` (fields emitted
+/// only when set, like `deliver_event.recovered`).
+fn opt_bool(fields: &[(String, JsonValue)], key: &'static str) -> Result<bool, ParseError> {
+    match get(fields, key) {
+        None => Ok(false),
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        Some(_) => Err(ParseError::BadValue(key)),
+    }
+}
+
 fn req_opt_u64(
     fields: &[(String, JsonValue)],
     key: &'static str,
@@ -1015,8 +1076,7 @@ fn event_from_fields(fields: &[(String, JsonValue)]) -> Result<TraceEvent, Parse
     let tag = |key: &'static str| -> Result<(Cow<'static, str>, TrafficClass), ParseError> {
         Ok((
             Cow::Owned(req_str(fields, key)?.to_string()),
-            TrafficClass::parse(req_str(fields, "class")?)
-                .ok_or(ParseError::BadValue("class"))?,
+            TrafficClass::parse(req_str(fields, "class")?).ok_or(ParseError::BadValue("class"))?,
         ))
     };
     match ty {
@@ -1099,6 +1159,13 @@ fn event_from_fields(fields: &[(String, JsonValue)]) -> Result<TraceEvent, Parse
             hops: req_u32(fields, "hops")?,
             latency: req_u64(fields, "latency")?,
             path: req_str(fields, "path")?.to_string(),
+            recovered: opt_bool(fields, "recovered")?,
+        }),
+        "reconv" => Ok(TraceEvent::Reconv {
+            system: Cow::Owned(req_str(fields, "system")?.to_string()),
+            severity_pct: req_u32(fields, "severity_pct")?,
+            repair: req_bool(fields, "repair")?,
+            rounds: req_opt_u64(fields, "rounds")?,
         }),
         "net_drop" => Ok(TraceEvent::NetDrop {
             now: req_u64(fields, "now")?,
@@ -1252,6 +1319,28 @@ mod tests {
                 hops: 2,
                 latency: 30,
                 path: "11>5>29".to_string(),
+                recovered: false,
+            },
+            TraceEvent::DeliverEvent {
+                now: 340,
+                event: 7,
+                node: 31,
+                hops: 3,
+                latency: 40,
+                path: "11>5>31".to_string(),
+                recovered: true,
+            },
+            TraceEvent::Reconv {
+                system: Cow::Borrowed("vitis"),
+                severity_pct: 25,
+                repair: true,
+                rounds: Some(9),
+            },
+            TraceEvent::Reconv {
+                system: Cow::Borrowed("rvr"),
+                severity_pct: 50,
+                repair: false,
+                rounds: None,
             },
             TraceEvent::NetDrop {
                 now: 305,
@@ -1323,8 +1412,8 @@ mod tests {
     fn every_record_type_round_trips() {
         for ev in sample_events() {
             let line = event_to_json(&ev);
-            let back = parse_event(&line)
-                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            let back =
+                parse_event(&line).unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
             assert_eq!(back, ev, "round trip mismatch for {line}");
         }
     }
@@ -1349,8 +1438,7 @@ mod tests {
         assert_eq!(run.as_deref(), Some("fig6/vitis-low#3"));
         assert!(matches!(ev, TraceEvent::Round { round: 1, .. }));
         // Unstamped lines parse with no run id.
-        let (run, _) =
-            parse_stamped(r#"{"type":"round","round":1,"now":64,"alive":10}"#).unwrap();
+        let (run, _) = parse_stamped(r#"{"type":"round","round":1,"now":64,"alive":10}"#).unwrap();
         assert_eq!(run, None);
         // Errors propagate.
         assert_eq!(parse_stamped("nope"), Err(ParseError::NotJson));
@@ -1388,7 +1476,9 @@ mod tests {
         );
         // Errors render as human-readable messages.
         assert!(ParseError::BadValue("now").to_string().contains("now"));
-        assert!(ParseError::UnknownType("x".into()).to_string().contains("x"));
+        assert!(ParseError::UnknownType("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use vitis::monitor::PubSubStats;
 use vitis::system::{PubSub, SystemParams};
 use vitis::topic::{TopicId, TopicSet};
+use vitis_sim::antientropy::AeConfig;
 use vitis_sim::fault::{FaultEpisode, FaultPlan, LossScope, Span};
 use vitis_sim::rng::{domain, stream_rng};
 use vitis_sim::time::SimTime;
@@ -65,6 +66,27 @@ pub fn faulted_params() -> SystemParams {
     p.cfg.max_event_hops = 32;
     p.cfg.gateway_failover = true;
     p
+}
+
+/// [`faulted_params`] with the anti-entropy repair layer switched on:
+/// the same fault gauntlet, but nodes now gossip digests of their recent
+/// events and pull what the faults cost them. Drives the `vitis_repair`
+/// golden, which pins the whole repair path — digest cadence, pull
+/// retries/backoff, recovery delivery accounting, and the `ae_*` ledger
+/// kinds — to a bit-exact snapshot in both serial and parallel execution.
+pub fn repair_params() -> SystemParams {
+    let mut p = faulted_params();
+    p.repair = AeConfig::on();
+    p
+}
+
+/// [`run_scenario`] plus the cumulative recovered-delivery count, so the
+/// repair golden pins recoveries explicitly rather than only through the
+/// trace fingerprint.
+pub fn run_repair_scenario(sys: &mut dyn PubSub) -> String {
+    let mut out = run_scenario(sys);
+    writeln!(out, "recovered_deliveries={}", sys.recovered_deliveries()).unwrap();
+    out
 }
 
 /// Bit-exact float rendering: decimal (for human diffs) plus raw bits.

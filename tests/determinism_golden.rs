@@ -27,7 +27,9 @@
 
 mod common;
 
-use common::{check_golden, faulted_params, golden_params, run_scenario};
+use common::{
+    check_golden, faulted_params, golden_params, repair_params, run_repair_scenario, run_scenario,
+};
 use vitis::system::VitisSystem;
 use vitis_baselines::{OptSystem, RvrSystem};
 
@@ -81,4 +83,21 @@ fn vitis_golden_is_byte_identical_with_profiling_on() {
 fn vitis_faulted_fixed_seed_run_is_bit_identical() {
     let mut sys = VitisSystem::new(faulted_params());
     check_golden("vitis_faulted", &run_scenario(&mut sys));
+}
+
+/// The faulted scenario with the anti-entropy repair layer on: digest
+/// gossip, pull scheduling with backoff, recovery pushes and their
+/// `recovered=true` delivery accounting are all deterministic. Compared
+/// against its own snapshot (repair changes outcomes by design); the
+/// repair-off goldens above staying byte-identical is what proves the
+/// disabled layer is inert.
+#[test]
+fn vitis_repair_fixed_seed_run_is_bit_identical() {
+    let mut sys = VitisSystem::new(repair_params());
+    let got = run_repair_scenario(&mut sys);
+    assert!(
+        got.contains("kind ae_digest"),
+        "repair-enabled run must send digests"
+    );
+    check_golden("vitis_repair", &got);
 }

@@ -16,7 +16,9 @@
 
 mod common;
 
-use common::{check_golden, faulted_params, golden_params, run_scenario};
+use common::{
+    check_golden, faulted_params, golden_params, repair_params, run_repair_scenario, run_scenario,
+};
 use rand::Rng;
 use vitis::conformance::check_pubsub_conformance;
 use vitis::system::{SystemParams, VitisSystem};
@@ -53,6 +55,17 @@ fn vitis_faulted_parallel_run_matches_serial_golden() {
     let mut sys = VitisSystem::new(faulted_params());
     sys.set_parallel_rounds(true);
     check_golden("vitis_faulted", &run_scenario(&mut sys));
+}
+
+/// The anti-entropy repair layer under parallel execution: digest target
+/// sampling, pull scheduling and recovery-delivery accounting replay
+/// identically through the deferred monitor-op pipeline — same bytes as
+/// the serial repair snapshot.
+#[test]
+fn vitis_repair_parallel_run_matches_serial_golden() {
+    let mut sys = VitisSystem::new(repair_params());
+    sys.set_parallel_rounds(true);
+    check_golden("vitis_repair", &run_repair_scenario(&mut sys));
 }
 
 /// The full pub/sub driver contract holds with parallel rounds on: all
